@@ -1,0 +1,81 @@
+// Command irisload drives sensing-agent updates against a running TCP
+// deployment: it walks the deployment's document for update targets
+// (elements matching -target, default parkingSpace) and streams synthetic
+// availability readings at the requested rate.
+//
+// Usage:
+//
+//	irisload -topology topo.json -rate 100 -dur 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"irisnet/internal/deploy"
+	"irisnet/internal/xmldb"
+)
+
+func main() {
+	var (
+		topoPath = flag.String("topology", "", "path to the JSON topology file (required)")
+		rate     = flag.Float64("rate", 50, "aggregate updates per second")
+		dur      = flag.Duration("dur", 10*time.Second, "how long to run")
+		target   = flag.String("target", "parkingSpace", "element name to update")
+		field    = flag.String("field", "available", "child element set by each update")
+	)
+	flag.Parse()
+	if *topoPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: irisload -topology topo.json [-rate N] [-dur D]")
+		os.Exit(2)
+	}
+	topo, err := deploy.LoadTopology(*topoPath)
+	fatal(err)
+	doc, err := topo.LoadDocument()
+	fatal(err)
+
+	var targets []xmldb.IDPath
+	doc.Walk(func(n *xmldb.Node) bool {
+		if n.Name == *target {
+			if p, ok := xmldb.IDPathOf(n); ok {
+				targets = append(targets, p)
+			}
+		}
+		return true
+	})
+	if len(targets) == 0 {
+		fatal(fmt.Errorf("no <%s> elements with ID paths in the document", *target))
+	}
+	fmt.Printf("irisload: %d targets, %.0f updates/sec for %v\n", len(targets), *rate, *dur)
+
+	fe := deploy.NewFrontend(topo)
+	interval := time.Duration(float64(time.Second) / *rate)
+	deadline := time.Now().Add(*dur)
+	sent, failed := 0, 0
+	i := 0
+	vals := []string{"yes", "no"}
+	for time.Now().Before(deadline) {
+		t := targets[i%len(targets)]
+		err := fe.Update(t, map[string]string{*field: vals[i%2]}, nil)
+		if err != nil {
+			failed++
+			if failed <= 3 {
+				fmt.Fprintln(os.Stderr, "irisload:", err)
+			}
+		} else {
+			sent++
+		}
+		i++
+		time.Sleep(interval)
+	}
+	fmt.Printf("irisload: sent %d updates (%d failed)\n", sent, failed)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "irisload:", err)
+		os.Exit(1)
+	}
+}

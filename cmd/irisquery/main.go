@@ -1,0 +1,60 @@
+// Command irisquery poses an XPath query against a running TCP deployment
+// and prints the answer subtrees.
+//
+// Usage:
+//
+//	irisquery -topology topo.json "/usRegion[@id='NE']/.../parkingSpace[available='yes']"
+//	irisquery -topology topo.json -route "/usRegion[@id='NE']/..."   # show routing only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"irisnet/internal/deploy"
+)
+
+func main() {
+	var (
+		topoPath  = flag.String("topology", "", "path to the JSON topology file (required)")
+		routeOnly = flag.Bool("route", false, "print the entry site instead of running the query")
+		rawFlag   = flag.Bool("raw", false, "print the raw assembled answer fragment (with status tags)")
+	)
+	flag.Parse()
+	if *topoPath == "" || flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: irisquery -topology topo.json [-route] [-raw] <xpath-query>")
+		os.Exit(2)
+	}
+	query := flag.Arg(0)
+	topo, err := deploy.LoadTopology(*topoPath)
+	fatal(err)
+	fe := deploy.NewFrontend(topo)
+
+	if *routeOnly {
+		entry, lca, err := fe.RouteOf(query)
+		fatal(err)
+		fmt.Printf("LCA:   %s\n", lca)
+		fmt.Printf("entry: %s\n", entry)
+		return
+	}
+	if *rawFlag {
+		frag, err := fe.QueryFragment(query)
+		fatal(err)
+		fmt.Println(frag.Indented())
+		return
+	}
+	nodes, err := fe.Query(query)
+	fatal(err)
+	fmt.Printf("<!-- %d result(s) -->\n", len(nodes))
+	for _, n := range nodes {
+		fmt.Println(n.Indented())
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "irisquery:", err)
+		os.Exit(1)
+	}
+}

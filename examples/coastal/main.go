@@ -1,0 +1,121 @@
+// Coastal monitoring — the Oregon-coastline deployment sketched in the
+// paper's introduction: the same engine serving a completely different
+// schema (regions, stations, instruments) without any code changes,
+// demonstrating that IrisNet is a general platform for wide area sensor
+// services, not a parking application.
+//
+// Oceanographers monitor rip tides and sandbar formation; each shore
+// station's data is owned by the site nearest to it, and region-wide
+// questions gather across stations.
+//
+// Run with: go run ./examples/coastal
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"irisnet"
+)
+
+const coastDoc = `
+<coastline id="oregon">
+  <region id="north">
+    <station id="cannon-beach" lat="45.89">
+      <waveheight>2.1</waveheight>
+      <ripCurrentRisk>low</ripCurrentRisk>
+      <instrument id="cam1"><type>webcam</type><status>ok</status></instrument>
+      <instrument id="gauge1"><type>pressure</type><status>ok</status></instrument>
+    </station>
+    <station id="seaside" lat="45.99">
+      <waveheight>2.8</waveheight>
+      <ripCurrentRisk>moderate</ripCurrentRisk>
+      <instrument id="cam1"><type>webcam</type><status>degraded</status></instrument>
+    </station>
+  </region>
+  <region id="central">
+    <station id="newport" lat="44.63">
+      <waveheight>3.4</waveheight>
+      <ripCurrentRisk>high</ripCurrentRisk>
+      <instrument id="adcp1"><type>current-profiler</type><status>ok</status></instrument>
+    </station>
+    <station id="florence" lat="43.98">
+      <waveheight>1.9</waveheight>
+      <ripCurrentRisk>low</ripCurrentRisk>
+      <instrument id="cam1"><type>webcam</type><status>ok</status></instrument>
+    </station>
+  </region>
+</coastline>`
+
+func main() {
+	dep, err := irisnet.New(irisnet.Config{
+		ServiceName: "coast.intel-iris.net",
+		DocumentXML: coastDoc,
+		RootOwner:   "hq-corvallis",
+		Ownership: map[string]string{
+			"/coastline[@id='oregon']/region[@id='north']":   "site-astoria",
+			"/coastline[@id='oregon']/region[@id='central']": "site-newport",
+		},
+		Caching: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dep.Close()
+
+	// A beach-safety service asks for every station with elevated rip
+	// current risk along the whole coastline.
+	fmt.Println("stations with elevated rip-current risk:")
+	q := "/coastline[@id='oregon']/region/station[ripCurrentRisk='high' or ripCurrentRisk='moderate']"
+	nodes, err := dep.Query(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, n := range nodes {
+		fmt.Printf("  %-14s waves=%sm risk=%s\n", n.ID(),
+			text(n, "waveheight"), text(n, "ripCurrentRisk"))
+	}
+
+	// Sandbar researchers watch one region's wave heights; the query
+	// self-starts at the owning site.
+	entry, _ := dep.RouteOf("/coastline[@id='oregon']/region[@id='central']/station")
+	fmt.Printf("\ncentral-region queries route to %s\n", entry)
+
+	// A storm rolls in: the Newport sensor proxy reports new readings.
+	newport := "/coastline[@id='oregon']/region[@id='central']/station[@id='newport']"
+	if err := dep.Update(newport, map[string]string{
+		"waveheight": "5.2", "ripCurrentRisk": "extreme",
+	}, nil); err != nil {
+		log.Fatal(err)
+	}
+	nodes, err = dep.Query(newport)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter storm update: newport waves=%sm risk=%s\n",
+		text(nodes[0], "waveheight"), text(nodes[0], "ripCurrentRisk"))
+
+	// Maintenance: which instruments are not healthy, coast-wide?
+	fmt.Println("\ndegraded instruments:")
+	nodes, err = dep.Query("/coastline[@id='oregon']/region/station/instrument[status!='ok']")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, n := range nodes {
+		fmt.Printf("  %s (%s)\n", n.ID(), text(n, "type"))
+	}
+
+	// Aggregation with XPath functions: stations with waves above 3m.
+	nodes, err = dep.Query("/coastline[@id='oregon']/region/station[waveheight > 3]")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d station(s) with waves above 3m\n", len(nodes))
+}
+
+func text(n *irisnet.Node, child string) string {
+	if c := n.ChildNamed(child); c != nil {
+		return c.Text
+	}
+	return "?"
+}

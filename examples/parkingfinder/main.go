@@ -1,0 +1,139 @@
+// Parking Space Finder — the paper's motivating application (Section 1).
+//
+// A driver heads to a destination near the Oakland/Shadyside boundary. The
+// service fires queries on her behalf: far from the destination it
+// tolerates minutes-old data (served from caches); as she approaches, it
+// insists on fresh data (forcing re-fetches from the owning sites). When
+// her chosen space is taken, the directions re-route to a new space.
+//
+// Run with: go run ./examples/parkingfinder
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"irisnet"
+)
+
+const pgh = "/usRegion[@id='NE']/state[@id='PA']/county[@id='Allegheny']/city[@id='Pittsburgh']"
+
+func main() {
+	// Simulated clock, in seconds: the demo scripts time explicitly.
+	now := 0.0
+	clock := func() float64 { return now }
+
+	dep, err := irisnet.New(irisnet.Config{
+		ServiceName: "parking.intel-iris.net",
+		DocumentXML: buildCity(),
+		RootOwner:   "city-site",
+		Ownership: map[string]string{
+			pgh + "/neighborhood[@id='Oakland']":   "oakland-site",
+			pgh + "/neighborhood[@id='Shadyside']": "shadyside-site",
+		},
+		Caching: true,
+		Clock:   clock,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dep.Close()
+
+	// Sensors report at t=0: all spaces stamped.
+	for _, nb := range []string{"Oakland", "Shadyside"} {
+		for blk := 1; blk <= 2; blk++ {
+			for sp := 1; sp <= 3; sp++ {
+				path := fmt.Sprintf("%s/neighborhood[@id='%s']/block[@id='%d']/parkingSpace[@id='%d']",
+					pgh, nb, blk, sp)
+				avail := "no"
+				if sp != 2 {
+					avail = "yes"
+				}
+				if err := dep.Update(path, map[string]string{"available": avail}, nil); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+
+	// The driver's criteria: within the two blocks nearest her destination
+	// (Oakland block 2 or Shadyside block 1), at least a 2-hour meter. The
+	// tolerance predicate controls how stale an answer may be.
+	blocks := []struct{ nb, blk string }{{"Oakland", "2"}, {"Shadyside", "1"}}
+	criteria := func(nb, blk, tolerance string) string {
+		return fmt.Sprintf("%s/neighborhood[@id='%s']/block[@id='%s']/parkingSpace[available='yes'][meter!='1hr']%s",
+			pgh, nb, blk, tolerance)
+	}
+	find := func(tolerance string) []string {
+		var out []string
+		for _, b := range blocks {
+			nodes, err := dep.Query(criteria(b.nb, b.blk, tolerance))
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, n := range nodes {
+				lbl := fmt.Sprintf("%s/block-%s/space-%s", b.nb, b.blk, n.ID())
+				fmt.Printf("   candidate: %s\n", lbl)
+				out = append(out, lbl)
+			}
+		}
+		if len(out) == 0 {
+			log.Fatal("no spaces match the driver's criteria")
+		}
+		return out
+	}
+
+	fmt.Println("== several miles out (t=120s): minutes-old data is fine ==")
+	now = 120
+	spaces := find("[@ts >= now() - 600]")
+	target := spaces[0]
+	fmt.Printf("-> directing driver to %s\n", target)
+
+	fmt.Println("\n== meanwhile, the space is taken ==")
+	if err := dep.Update(pathOf(target), map[string]string{"available": "no"}, nil); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n== two blocks away (t=150s): insist on data fresher than 30s ==")
+	now = 150
+	fresh := find("[@ts >= now() - 30]")
+	for _, s := range fresh {
+		if s == target {
+			log.Fatalf("stale answer: %s is taken", s)
+		}
+	}
+	fmt.Printf("-> re-routing driver to %s\n", fresh[0])
+}
+
+// pathOf maps a label back to the space's ID path (demo bookkeeping).
+func pathOf(lbl string) string {
+	var nb, blk, sp string
+	parts := strings.Split(lbl, "/")
+	nb = parts[0]
+	blk = strings.TrimPrefix(parts[1], "block-")
+	sp = strings.TrimPrefix(parts[2], "space-")
+	return fmt.Sprintf("%s/neighborhood[@id='%s']/block[@id='%s']/parkingSpace[@id='%s']", pgh, nb, blk, sp)
+}
+
+// buildCity generates the demo document: 2 neighborhoods x 2 blocks x 3
+// spaces with meter limits.
+func buildCity() string {
+	var sb strings.Builder
+	sb.WriteString(`<usRegion id="NE"><state id="PA"><county id="Allegheny"><city id="Pittsburgh">`)
+	meters := []string{"1hr", "2hr", "4hr"}
+	for _, nb := range []string{"Oakland", "Shadyside"} {
+		fmt.Fprintf(&sb, `<neighborhood id="%s">`, nb)
+		for blk := 1; blk <= 2; blk++ {
+			fmt.Fprintf(&sb, `<block id="%d">`, blk)
+			for sp := 1; sp <= 3; sp++ {
+				fmt.Fprintf(&sb, `<parkingSpace id="%d"><available>no</available><meter>%s</meter></parkingSpace>`,
+					sp, meters[sp-1])
+			}
+			sb.WriteString(`</block>`)
+		}
+		sb.WriteString(`</neighborhood>`)
+	}
+	sb.WriteString(`</city></county></state></usRegion>`)
+	return sb.String()
+}

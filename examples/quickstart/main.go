@@ -1,0 +1,101 @@
+// Quickstart: build an embedded three-site IrisNet deployment for the
+// paper's Parking Space Finder document, pose XPath queries against the
+// single logical document, and watch them route, gather and answer.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"irisnet"
+)
+
+const document = `
+<usRegion id="NE">
+  <state id="PA">
+    <county id="Allegheny">
+      <city id="Pittsburgh">
+        <neighborhood id="Oakland" zipcode="15213">
+          <block id="1">
+            <parkingSpace id="1"><available>yes</available><price>25</price></parkingSpace>
+            <parkingSpace id="2"><available>no</available><price>0</price></parkingSpace>
+          </block>
+          <block id="2">
+            <parkingSpace id="1"><available>yes</available><price>50</price></parkingSpace>
+          </block>
+        </neighborhood>
+        <neighborhood id="Shadyside" zipcode="15232">
+          <block id="1">
+            <parkingSpace id="1"><available>yes</available><price>25</price></parkingSpace>
+          </block>
+        </neighborhood>
+      </city>
+    </county>
+  </state>
+</usRegion>`
+
+const pgh = "/usRegion[@id='NE']/state[@id='PA']/county[@id='Allegheny']/city[@id='Pittsburgh']"
+
+func main() {
+	// The logical document is one XML tree; physically, each neighborhood
+	// lives on its own site and the upper hierarchy on a third.
+	dep, err := irisnet.New(irisnet.Config{
+		ServiceName: "parking.intel-iris.net",
+		DocumentXML: document,
+		RootOwner:   "city-site",
+		Ownership: map[string]string{
+			pgh + "/neighborhood[@id='Oakland']":   "oakland-site",
+			pgh + "/neighborhood[@id='Shadyside']": "shadyside-site",
+		},
+		Caching: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dep.Close()
+	fmt.Println("sites:", dep.Sites())
+
+	// Queries are routed by their text alone: the LCA's DNS-style name is
+	// extracted from the leading /name[@id=...] steps.
+	q := pgh + "/neighborhood[@id='Oakland']/block[@id='1']/parkingSpace[available='yes']"
+	entry, _ := dep.RouteOf(q)
+	fmt.Printf("\nquery routes to %s (self-starting, no global state)\n", entry)
+	show(dep, q)
+
+	// The paper's Figure 2 query: an OR over two neighborhoods. The LCA is
+	// the city; the city site gathers from both neighborhood sites.
+	show(dep, pgh+"/neighborhood[@id='Oakland' OR @id='Shadyside']/block[@id='1']/parkingSpace[available='yes']")
+
+	// A sensor update flips space 2; queries see it immediately.
+	space2 := pgh + "/neighborhood[@id='Oakland']/block[@id='1']/parkingSpace[@id='2']"
+	if err := dep.Update(space2, map[string]string{"available": "yes"}, nil); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nafter update (space 2 becomes available):")
+	show(dep, q)
+
+	// The least pricey spot in Oakland block 1 — a nesting-depth-1 query
+	// (XPath 1.0 has no min()); the engine gathers the block subtree first.
+	show(dep, pgh+"/neighborhood[@id='Oakland']/block[@id='1']/parkingSpace[not(price > ../parkingSpace/price)]")
+
+	// The second identical query is served from the city site's cache.
+	dep.Query(q)
+	stats, _ := dep.Stats("city-site")
+	fmt.Printf("\ncity-site stats: %+v\n", stats)
+}
+
+func show(dep *irisnet.Deployment, q string) {
+	fmt.Printf("\nQ: %s\n", q)
+	answers, err := dep.QueryXML(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range answers {
+		fmt.Println("  ", a)
+	}
+	if len(answers) == 0 {
+		fmt.Println("   (no results)")
+	}
+}

@@ -1,0 +1,3 @@
+module irisnet
+
+go 1.22

@@ -1,0 +1,57 @@
+package fragment
+
+import (
+	"irisnet/internal/xmldb"
+)
+
+// LocalInfo returns a detached copy of the local information of node n per
+// Definition 3.2: all attributes of n, all non-IDable children with their
+// full subtrees, and bare ID stubs for the IDable children. The copy's
+// status attribute is not set; callers tag it for their use.
+func LocalInfo(n *xmldb.Node) *xmldb.Node {
+	out := n.CloneShallow()
+	out.DelAttr(xmldb.AttrStatus)
+	for _, c := range n.Children {
+		if c.ID() != "" {
+			out.AddChild(idStub(c))
+		} else {
+			cl := c.Clone()
+			stripStatusDeep(cl)
+			out.AddChild(cl)
+		}
+	}
+	return out
+}
+
+// LocalIDInfo returns a detached copy of the local ID information of n:
+// its own ID and the IDs of its IDable children, nothing more.
+func LocalIDInfo(n *xmldb.Node) *xmldb.Node {
+	out := xmldb.NewElem(n.Name, n.ID())
+	for _, c := range n.Children {
+		if c.ID() != "" {
+			out.AddChild(idStub(c))
+		}
+	}
+	return out
+}
+
+// idStub returns a bare <name id=.../> element for an IDable child.
+func idStub(c *xmldb.Node) *xmldb.Node {
+	return xmldb.NewElem(c.Name, c.ID())
+}
+
+func stripStatusDeep(n *xmldb.Node) {
+	n.Walk(func(x *xmldb.Node) bool {
+		x.DelAttr(xmldb.AttrStatus)
+		return true
+	})
+}
+
+// StripInternal removes the bookkeeping attributes (status) from a copy of
+// the fragment, producing the user-facing form of an answer. Timestamps are
+// kept: the paper exposes them to consistency predicates.
+func StripInternal(n *xmldb.Node) *xmldb.Node {
+	out := n.Clone()
+	stripStatusDeep(out)
+	return out
+}

@@ -1,0 +1,92 @@
+// Package fragment implements the IrisNet data-partitioning model
+// (Section 3.2 of the paper): IDable nodes, local information and local ID
+// information, the four-valued status attribute, the storage invariants I1
+// and I2, the cache conditions C1 and C2, fragment merging, eviction, and
+// the construction of per-site fragments from a full document.
+package fragment
+
+import (
+	"fmt"
+
+	"irisnet/internal/xmldb"
+)
+
+// Status summarizes how much of an IDable node's data a site stores.
+type Status int
+
+const (
+	// StatusIncomplete: only the node's ID is stored.
+	StatusIncomplete Status = iota
+	// StatusIDComplete: the node's local ID information (its ID and the
+	// IDs of its IDable children) is stored, and so is the local ID
+	// information of every ancestor, but not all local information.
+	StatusIDComplete
+	// StatusComplete: the full local information is stored but the site
+	// does not own the node.
+	StatusComplete
+	// StatusOwned: the site owns the node and stores its local
+	// information (invariant I1).
+	StatusOwned
+)
+
+var statusNames = map[Status]string{
+	StatusIncomplete: "incomplete",
+	StatusIDComplete: "id-complete",
+	StatusComplete:   "complete",
+	StatusOwned:      "owned",
+}
+
+var statusByName = map[string]Status{
+	"incomplete":  StatusIncomplete,
+	"id-complete": StatusIDComplete,
+	"complete":    StatusComplete,
+	"owned":       StatusOwned,
+}
+
+func (s Status) String() string { return statusNames[s] }
+
+// ParseStatus converts the attribute text back to a Status.
+func ParseStatus(s string) (Status, error) {
+	v, ok := statusByName[s]
+	if !ok {
+		return 0, fmt.Errorf("fragment: unknown status %q", s)
+	}
+	return v, nil
+}
+
+// HasLocalInfo reports whether this status implies the full local
+// information of the node is stored.
+func (s Status) HasLocalInfo() bool { return s == StatusOwned || s == StatusComplete }
+
+// HasLocalIDInfo reports whether this status implies at least the local ID
+// information of the node is stored.
+func (s Status) HasLocalIDInfo() bool { return s >= StatusIDComplete }
+
+// StatusOf reads a node's status attribute. Nodes without the attribute
+// (fresh stubs) default to incomplete.
+func StatusOf(n *xmldb.Node) Status {
+	v, ok := n.Attr(xmldb.AttrStatus)
+	if !ok {
+		return StatusIncomplete
+	}
+	s, err := ParseStatus(v)
+	if err != nil {
+		return StatusIncomplete
+	}
+	return s
+}
+
+// SetStatus writes a node's status attribute.
+func SetStatus(n *xmldb.Node, s Status) { n.SetAttr(xmldb.AttrStatus, s.String()) }
+
+// EffectiveStatus returns the status governing a node: for IDable-form
+// nodes their own status, for non-IDable nodes the status of the lowest
+// IDable ancestor (the paper's convention in Section 3.2).
+func EffectiveStatus(n *xmldb.Node) Status {
+	for cur := n; cur != nil; cur = cur.Parent {
+		if cur.Parent == nil || cur.ID() != "" {
+			return StatusOf(cur)
+		}
+	}
+	return StatusIncomplete
+}

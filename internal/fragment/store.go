@@ -1,0 +1,382 @@
+package fragment
+
+import (
+	"fmt"
+	"strconv"
+
+	"irisnet/internal/xmldb"
+)
+
+// Store is the site database of one organizing agent: a fragment of the
+// logical document rooted at the document root. Invariant I2 guarantees
+// that whenever any node is present, the local ID information of all its
+// ancestors is too, so the fragment is always a rooted tree.
+//
+// Store performs no locking; the site layer serializes access.
+type Store struct {
+	// Root is the document root stub; never nil after NewStore.
+	Root *xmldb.Node
+}
+
+// NewStore creates an empty store whose document root has the given element
+// name and id. The root starts incomplete: the site knows nothing yet.
+func NewStore(rootName, rootID string) *Store {
+	root := xmldb.NewElem(rootName, rootID)
+	SetStatus(root, StatusIncomplete)
+	return &Store{Root: root}
+}
+
+// NodeAt returns the stored node at the ID path, or nil.
+func (s *Store) NodeAt(p xmldb.IDPath) *xmldb.Node {
+	return xmldb.FindByIDPath(s.Root, p)
+}
+
+// ensurePath creates incomplete stubs down to the path and returns the node.
+func (s *Store) ensurePath(p xmldb.IDPath) (*xmldb.Node, error) {
+	if len(p) == 0 {
+		return nil, fmt.Errorf("fragment: empty id path")
+	}
+	cur := s.Root
+	if cur.Name != p[0].Name || (p[0].ID != "" && cur.ID() != p[0].ID) {
+		return nil, fmt.Errorf("fragment: path %s does not match store root %s[@id=%q]",
+			p, cur.Name, cur.ID())
+	}
+	for _, st := range p[1:] {
+		next := cur.Child(st.Name, st.ID)
+		if next == nil {
+			next = cur.AddChild(xmldb.NewElem(st.Name, st.ID))
+			SetStatus(next, StatusIncomplete)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// SetTimestamp stamps a node with the given time (seconds on the local
+// clock), used by owners when applying sensor updates.
+func SetTimestamp(n *xmldb.Node, ts float64) {
+	n.SetAttr(xmldb.AttrTimestamp, strconv.FormatFloat(ts, 'f', -1, 64))
+}
+
+// Timestamp reads a node's timestamp; ok is false when the node has none.
+func Timestamp(n *xmldb.Node) (float64, bool) {
+	v, present := n.Attr(xmldb.AttrTimestamp)
+	if !present {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, false
+	}
+	return f, true
+}
+
+// InstallLocalInfo replaces the local-information unit of the node at path
+// with info (a detached fragment as produced by LocalInfo), upgrading the
+// node to the given status. Existing IDable children that are richer than
+// the bare stubs listed in info are preserved; IDable children of the
+// stored node that are NOT listed in info are removed (the fresh local
+// information is authoritative about which children exist). Ancestor local
+// ID information must already be present (invariant I2) — the caller
+// arranges it via EnsureAncestors or a prior merge.
+func (s *Store) InstallLocalInfo(p xmldb.IDPath, info *xmldb.Node, st Status) error {
+	if !st.HasLocalInfo() {
+		return fmt.Errorf("fragment: InstallLocalInfo with status %v", st)
+	}
+	n, err := s.ensurePath(p)
+	if err != nil {
+		return err
+	}
+	if len(p) > 1 && !StatusOf(n.Parent).HasLocalIDInfo() && n.Parent.Parent != nil {
+		return fmt.Errorf("fragment: I2 violation: parent of %s lacks local ID info", p)
+	}
+	applyLocalInfo(n, info, st)
+	return nil
+}
+
+// applyLocalInfo overwrites n's local info unit from the detached fragment.
+func applyLocalInfo(n *xmldb.Node, info *xmldb.Node, st Status) {
+	// Replace attributes wholesale (the local info unit includes them).
+	n.Attrs = nil
+	for _, a := range info.Attrs {
+		if a.Name == xmldb.AttrStatus {
+			continue
+		}
+		n.SetAttr(a.Name, a.Value)
+	}
+	n.Text = info.Text
+	SetStatus(n, st)
+
+	// Replace the non-IDable children and reconcile the IDable stubs.
+	keep := map[string]*xmldb.Node{}
+	for _, c := range n.Children {
+		if c.ID() != "" {
+			keep[c.Name+"\x00"+c.ID()] = c
+		}
+	}
+	n.Children = nil
+	for _, c := range info.Children {
+		if c.ID() == "" {
+			cl := c.Clone()
+			stripStatusDeep(cl)
+			cl.Parent = n
+			n.Children = append(n.Children, cl)
+			continue
+		}
+		if old, ok := keep[c.Name+"\x00"+c.ID()]; ok {
+			old.Parent = n
+			n.Children = append(n.Children, old)
+		} else {
+			stub := xmldb.NewElem(c.Name, c.ID())
+			SetStatus(stub, StatusIncomplete)
+			stub.Parent = n
+			n.Children = append(n.Children, stub)
+		}
+	}
+}
+
+// InstallLocalIDInfo merges the local ID information of the node at path:
+// its ID plus stubs for the listed IDable children. If the node is below
+// id-complete it is upgraded; richer statuses are untouched.
+func (s *Store) InstallLocalIDInfo(p xmldb.IDPath, info *xmldb.Node) error {
+	n, err := s.ensurePath(p)
+	if err != nil {
+		return err
+	}
+	for _, c := range info.Children {
+		if c.ID() == "" {
+			return fmt.Errorf("fragment: local ID info for %s contains non-IDable child <%s>", p, c.Name)
+		}
+		if n.Child(c.Name, c.ID()) == nil {
+			stub := n.AddChild(xmldb.NewElem(c.Name, c.ID()))
+			SetStatus(stub, StatusIncomplete)
+		}
+	}
+	if !StatusOf(n).HasLocalIDInfo() {
+		SetStatus(n, StatusIDComplete)
+	}
+	return nil
+}
+
+// EnsureAncestors installs the local ID information of every proper
+// ancestor of path, derived from the reference document. It is used when
+// building initial partitions; at runtime ancestors arrive in answer
+// fragments instead.
+func (s *Store) EnsureAncestors(ref *xmldb.Node, p xmldb.IDPath) error {
+	for i := 1; i < len(p); i++ {
+		anc := p[:i]
+		refNode := xmldb.FindByIDPath(ref, anc)
+		if refNode == nil {
+			return fmt.Errorf("fragment: ancestor %s not in reference document", anc)
+		}
+		if err := s.InstallLocalIDInfo(anc, LocalIDInfo(refNode)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MergeFragment merges an incoming fragment (an answer or cache-fill
+// produced by another site) into the store. The fragment must be rooted at
+// the document root and satisfy the cache conditions C1 and C2; every
+// IDable node in it carries a status attribute saying what the fragment
+// holds for that node (complete, id-complete or incomplete). Statuses in
+// the store are only ever upgraded, except that a complete node's local
+// info is refreshed when the incoming copy is at least as new (the paper's
+// replace-on-fresh-copy policy). Owned data is never overwritten by a merge.
+func (s *Store) MergeFragment(frag *xmldb.Node) error {
+	if err := ValidateFragment(frag); err != nil {
+		return err
+	}
+	if frag.Name != s.Root.Name || (s.Root.ID() != "" && frag.ID() != "" && frag.ID() != s.Root.ID()) {
+		return fmt.Errorf("fragment: merge root <%s id=%q> does not match store root <%s id=%q>",
+			frag.Name, frag.ID(), s.Root.Name, s.Root.ID())
+	}
+	mergeNode(s.Root, frag)
+	return nil
+}
+
+func mergeNode(dst, src *xmldb.Node) {
+	srcStatus := StatusOf(src)
+	dstStatus := StatusOf(dst)
+	switch {
+	case srcStatus.HasLocalInfo():
+		fresh := true
+		if dstStatus == StatusOwned {
+			fresh = false // never clobber owned data
+		} else if dstStatus == StatusComplete {
+			oldTS, okOld := Timestamp(dst)
+			newTS, okNew := Timestamp(src)
+			if okOld && okNew && newTS < oldTS {
+				fresh = false // stale copy; keep what we have
+			}
+		}
+		if fresh {
+			applyLocalInfo(dst, localInfoOf(src), StatusComplete)
+		} else {
+			// Still merge any child stubs we did not know about.
+			unionChildStubs(dst, src)
+		}
+	case srcStatus == StatusIDComplete:
+		unionChildStubs(dst, src)
+		if !dstStatus.HasLocalIDInfo() {
+			SetStatus(dst, StatusIDComplete)
+		}
+	default:
+		// Incomplete: nothing beyond the node's existence.
+	}
+	// Recurse into IDable children present in the source.
+	for _, sc := range src.Children {
+		if sc.ID() == "" {
+			continue
+		}
+		dc := dst.Child(sc.Name, sc.ID())
+		if dc == nil {
+			dc = dst.AddChild(xmldb.NewElem(sc.Name, sc.ID()))
+			SetStatus(dc, StatusIncomplete)
+		}
+		mergeNode(dc, sc)
+	}
+}
+
+// localInfoOf extracts the local-information unit from a fragment node that
+// carries full local info (attributes, non-IDable children, IDable stubs).
+func localInfoOf(src *xmldb.Node) *xmldb.Node {
+	out := src.CloneShallow()
+	out.DelAttr(xmldb.AttrStatus)
+	for _, c := range src.Children {
+		if c.ID() != "" {
+			out.AddChild(idStub(c))
+		} else {
+			out.AddChild(c.Clone())
+		}
+	}
+	return out
+}
+
+func unionChildStubs(dst, src *xmldb.Node) {
+	for _, sc := range src.Children {
+		if sc.ID() == "" {
+			continue
+		}
+		if dst.Child(sc.Name, sc.ID()) == nil {
+			stub := dst.AddChild(xmldb.NewElem(sc.Name, sc.ID()))
+			SetStatus(stub, StatusIncomplete)
+		}
+	}
+}
+
+// ValidateFragment checks the structural cache conditions on an incoming
+// fragment (C1 and C2 of Section 3.3): every node is either an IDable stub
+// or part of a local-information unit; a node carrying local (ID)
+// information has a parent carrying at least local ID information; nodes
+// marked incomplete have no children; id-complete nodes have only IDable
+// children.
+func ValidateFragment(frag *xmldb.Node) error {
+	var check func(n *xmldb.Node, parentStatus Status, depth int) error
+	check = func(n *xmldb.Node, parentStatus Status, depth int) error {
+		if depth > 0 && n.ID() == "" {
+			// Non-IDable node: legal only inside a complete parent's local info.
+			if !parentStatus.HasLocalInfo() {
+				return fmt.Errorf("fragment: C1 violation: non-IDable <%s> under %v parent", n.Name, parentStatus)
+			}
+			return nil // whole subtree belongs to the local info unit
+		}
+		st := StatusOf(n)
+		if depth > 0 && st.HasLocalIDInfo() && !parentStatus.HasLocalIDInfo() {
+			return fmt.Errorf("fragment: C2 violation: <%s id=%q> has local (ID) info but parent lacks local ID info", n.Name, n.ID())
+		}
+		if st == StatusIncomplete && len(n.Children) > 0 {
+			return fmt.Errorf("fragment: incomplete <%s id=%q> must not have children", n.Name, n.ID())
+		}
+		if st == StatusIDComplete {
+			for _, c := range n.Children {
+				if c.ID() == "" {
+					return fmt.Errorf("fragment: id-complete <%s id=%q> has non-IDable child <%s>", n.Name, n.ID(), c.Name)
+				}
+			}
+		}
+		for _, c := range n.Children {
+			if c.ID() == "" {
+				continue // local info unit; no per-node statuses inside
+			}
+			if err := check(c, st, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return check(frag, StatusIncomplete, 0)
+}
+
+// EvictLocalInfo downgrades a cached node from complete to id-complete,
+// removing the local-information unit (attributes other than id, text, and
+// the non-IDable children) while keeping the IDable child stubs and their
+// subtrees. Owned nodes cannot be evicted (invariant I1).
+func (s *Store) EvictLocalInfo(p xmldb.IDPath) error {
+	n := s.NodeAt(p)
+	if n == nil {
+		return fmt.Errorf("fragment: evict: %s not present", p)
+	}
+	st := StatusOf(n)
+	if st == StatusOwned {
+		return fmt.Errorf("fragment: evict: %s is owned (I1 forbids eviction)", p)
+	}
+	if st != StatusComplete {
+		return fmt.Errorf("fragment: evict: %s has status %v, not complete", p, st)
+	}
+	id := n.ID()
+	n.Attrs = nil
+	if id != "" {
+		n.SetAttr(xmldb.AttrID, id)
+	}
+	n.Text = ""
+	SetStatus(n, StatusIDComplete)
+	var kids []*xmldb.Node
+	for _, c := range n.Children {
+		if c.ID() != "" {
+			kids = append(kids, c)
+		}
+	}
+	n.Children = kids
+	return nil
+}
+
+// EvictSubtree removes everything stored for the node at path except its
+// bare ID, downgrading it to incomplete. It fails if the node or any
+// descendant is owned by this site.
+func (s *Store) EvictSubtree(p xmldb.IDPath) error {
+	n := s.NodeAt(p)
+	if n == nil {
+		return fmt.Errorf("fragment: evict: %s not present", p)
+	}
+	if n.Parent == nil {
+		return fmt.Errorf("fragment: evict: cannot evict the document root")
+	}
+	owned := false
+	n.Walk(func(x *xmldb.Node) bool {
+		if StatusOf(x) == StatusOwned {
+			owned = true
+			return false
+		}
+		return true
+	})
+	if owned {
+		return fmt.Errorf("fragment: evict: subtree %s contains owned data", p)
+	}
+	id := n.ID()
+	n.Attrs = nil
+	if id != "" {
+		n.SetAttr(xmldb.AttrID, id)
+	}
+	n.Text = ""
+	n.Children = nil
+	SetStatus(n, StatusIncomplete)
+	return nil
+}
+
+// Size returns the number of element nodes stored.
+func (s *Store) Size() int { return s.Root.CountNodes() }
+
+// Clone returns a deep copy of the store, for snapshotting in tests.
+func (s *Store) Clone() *Store { return &Store{Root: s.Root.Clone()} }

@@ -1,0 +1,190 @@
+// Package metrics provides the lightweight instrumentation the benchmark
+// harness uses: atomic counters, latency histograms with quantiles, stage
+// breakdowns (Figure 11) and windowed throughput traces (Figure 9).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Histogram records durations and reports quantiles. It keeps raw samples
+// (bounded) under a mutex; benchmark workloads are tens of thousands of
+// samples, well within reason.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	limit   int
+	count   int64
+	sum     time.Duration
+}
+
+// NewHistogram creates a histogram that retains at most limit samples
+// (reservoir-less: after the limit, samples are dropped but count/sum keep
+// accumulating). limit <= 0 means 1<<20.
+func NewHistogram(limit int) *Histogram {
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	return &Histogram{limit: limit}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += d
+	if len(h.samples) < h.limit {
+		h.samples = append(h.samples, d)
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the mean duration (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) over retained samples.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(h.samples))
+	copy(sorted, h.samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Breakdown accumulates named stage durations, reproducing the Figure 11
+// per-stage bars (create plan / execute / communication / rest).
+type Breakdown struct {
+	mu     sync.Mutex
+	stages map[string]time.Duration
+	counts map[string]int64
+	order  []string
+}
+
+// NewBreakdown creates an empty breakdown.
+func NewBreakdown() *Breakdown {
+	return &Breakdown{stages: map[string]time.Duration{}, counts: map[string]int64{}}
+}
+
+// Add accumulates d under the stage name.
+func (b *Breakdown) Add(stage string, d time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.stages[stage]; !ok {
+		b.order = append(b.order, stage)
+	}
+	b.stages[stage] += d
+	b.counts[stage]++
+}
+
+// Mean returns the mean duration of one stage.
+func (b *Breakdown) Mean(stage string) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.counts[stage] == 0 {
+		return 0
+	}
+	return b.stages[stage] / time.Duration(b.counts[stage])
+}
+
+// Stages returns stage names in first-seen order.
+func (b *Breakdown) Stages() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, len(b.order))
+	copy(out, b.order)
+	return out
+}
+
+// String renders the breakdown as "stage=mean" pairs.
+func (b *Breakdown) String() string {
+	var parts []string
+	for _, s := range b.Stages() {
+		parts = append(parts, fmt.Sprintf("%s=%v", s, b.Mean(s)))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Timeline counts events into fixed-width windows from a start time; it
+// reproduces the Figure 9 "queries finished in preceding 5 sec" trace.
+type Timeline struct {
+	mu     sync.Mutex
+	start  time.Time
+	window time.Duration
+	counts []int64
+}
+
+// NewTimeline creates a timeline with the given window width, starting now.
+func NewTimeline(start time.Time, window time.Duration) *Timeline {
+	return &Timeline{start: start, window: window}
+}
+
+// Record counts one event at time t.
+func (tl *Timeline) Record(t time.Time) {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	if t.Before(tl.start) {
+		return
+	}
+	idx := int(t.Sub(tl.start) / tl.window)
+	for len(tl.counts) <= idx {
+		tl.counts = append(tl.counts, 0)
+	}
+	tl.counts[idx]++
+}
+
+// Windows returns a copy of the per-window counts.
+func (tl *Timeline) Windows() []int64 {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	out := make([]int64, len(tl.counts))
+	copy(out, tl.counts)
+	return out
+}
+
+// WindowDuration returns the window width.
+func (tl *Timeline) WindowDuration() time.Duration { return tl.window }

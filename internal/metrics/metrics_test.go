@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); c.Inc() }()
+	}
+	wg.Wait()
+	if c.Value() != 15 {
+		t.Fatalf("concurrent counter = %d", c.Value())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0)
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Mean(); got != 50500*time.Microsecond {
+		t.Fatalf("mean = %v", got)
+	}
+	if q := h.Quantile(0.5); q != 50*time.Millisecond {
+		t.Fatalf("p50 = %v", q)
+	}
+	if q := h.Quantile(0.99); q != 99*time.Millisecond {
+		t.Fatalf("p99 = %v", q)
+	}
+	if q := h.Quantile(0); q != 1*time.Millisecond {
+		t.Fatalf("p0 = %v", q)
+	}
+	if q := h.Quantile(1); q != 100*time.Millisecond {
+		t.Fatalf("p100 = %v", q)
+	}
+}
+
+func TestHistogramLimit(t *testing.T) {
+	h := NewHistogram(10)
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatal("count must keep accumulating past the sample limit")
+	}
+	if h.Mean() != time.Millisecond {
+		t.Fatal("mean uses full sum")
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	b := NewBreakdown()
+	b.Add("exec", 10*time.Millisecond)
+	b.Add("exec", 20*time.Millisecond)
+	b.Add("comm", 5*time.Millisecond)
+	if got := b.Mean("exec"); got != 15*time.Millisecond {
+		t.Fatalf("mean exec = %v", got)
+	}
+	if got := b.Mean("missing"); got != 0 {
+		t.Fatalf("missing stage mean = %v", got)
+	}
+	stages := b.Stages()
+	if len(stages) != 2 || stages[0] != "exec" || stages[1] != "comm" {
+		t.Fatalf("stages = %v", stages)
+	}
+	if s := b.String(); !strings.Contains(s, "exec=15ms") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	start := time.Unix(0, 0)
+	tl := NewTimeline(start, 5*time.Second)
+	tl.Record(start.Add(1 * time.Second))  // window 0
+	tl.Record(start.Add(4 * time.Second))  // window 0
+	tl.Record(start.Add(7 * time.Second))  // window 1
+	tl.Record(start.Add(16 * time.Second)) // window 3
+	tl.Record(start.Add(-1 * time.Second)) // before start: dropped
+	w := tl.Windows()
+	if len(w) != 4 {
+		t.Fatalf("windows = %v", w)
+	}
+	if w[0] != 2 || w[1] != 1 || w[2] != 0 || w[3] != 1 {
+		t.Fatalf("windows = %v", w)
+	}
+	if tl.WindowDuration() != 5*time.Second {
+		t.Fatal("window duration")
+	}
+}

@@ -1,0 +1,181 @@
+package qeg
+
+import (
+	"fmt"
+
+	"irisnet/internal/fragment"
+	"irisnet/internal/xmldb"
+	"irisnet/internal/xpath"
+	"irisnet/internal/xpatheval"
+)
+
+// Fetcher resolves one subquery against the rest of the system (the site
+// layer implements it by routing to the target's owner) and returns the
+// remote answer fragment, rooted at the document root with status tags.
+type Fetcher func(Subquery) (*xmldb.Node, error)
+
+// maxGatherRounds bounds the evaluate/fetch fixpoint for nested queries; in
+// practice two or three rounds suffice, the bound only guards against
+// pathological ownership configurations.
+const maxGatherRounds = 64
+
+// Gather executes the full query-evaluate-gather loop for a compiled query
+// (one plan per union branch): evaluate against the local fragment, fetch
+// the missing parts via subqueries, and splice everything into one C1/C2
+// answer fragment. The local store is never mutated; caching is the
+// caller's decision (it sees every fetched fragment through its Fetcher).
+func Gather(store *fragment.Store, plans []*Plan, fetch Fetcher, opts Options) (*xmldb.Node, error) {
+	ans := fragment.NewStore(store.Root.Name, store.Root.ID())
+	seen := map[string]bool{}
+	for _, plan := range plans {
+		if plan.NestedIdx >= 0 {
+			if err := gatherNested(store, plan, fetch, opts, ans, seen); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		res, err := Evaluate(store, plan, opts)
+		if err != nil {
+			return nil, err
+		}
+		if err := ans.MergeFragment(res.Fragment); err != nil {
+			return nil, fmt.Errorf("qeg: merging local result: %w", err)
+		}
+		for _, sq := range res.Subqueries {
+			if seen[sq.Key()] {
+				continue
+			}
+			seen[sq.Key()] = true
+			sub, err := fetch(sq)
+			if err != nil {
+				return nil, fmt.Errorf("qeg: subquery %s at %s: %w", sq.Query, sq.Target, err)
+			}
+			if err := ans.MergeFragment(sub); err != nil {
+				return nil, fmt.Errorf("qeg: splicing subanswer for %s: %w", sq.Target, err)
+			}
+		}
+	}
+	return ans.Root, nil
+}
+
+// gatherNested handles nesting depth >= 1: the subtree at the gather point
+// must be assembled before the nested predicates can be evaluated, so the
+// loop iterates evaluate -> fetch -> merge on a working copy of the store
+// until no new subqueries appear (Section 4).
+func gatherNested(store *fragment.Store, plan *Plan, fetch Fetcher, opts Options, ans *fragment.Store, seen map[string]bool) error {
+	work := store.Clone()
+	for round := 0; round < maxGatherRounds; round++ {
+		res, err := Evaluate(work, plan, opts)
+		if err != nil {
+			return err
+		}
+		var fresh []Subquery
+		for _, sq := range res.Subqueries {
+			if !seen[sq.Key()] {
+				seen[sq.Key()] = true
+				fresh = append(fresh, sq)
+			}
+		}
+		if len(fresh) == 0 {
+			return ans.MergeFragment(res.Fragment)
+		}
+		for _, sq := range fresh {
+			sub, err := fetch(sq)
+			if err != nil {
+				return fmt.Errorf("qeg: nested subquery %s at %s: %w", sq.Query, sq.Target, err)
+			}
+			if err := work.MergeFragment(sub); err != nil {
+				return fmt.Errorf("qeg: merging nested subanswer: %w", err)
+			}
+			// The gathered subtree also joins the answer: the final
+			// extraction re-evaluates the nested predicates and needs the
+			// sibling data they reference, not just the matching nodes.
+			if err := ans.MergeFragment(sub); err != nil {
+				return fmt.Errorf("qeg: splicing nested subanswer: %w", err)
+			}
+		}
+	}
+	return fmt.Errorf("qeg: nested gather did not converge after %d rounds", maxGatherRounds)
+}
+
+// LCAPath extracts the ID path of a query's lowest common ancestor from
+// the query text alone — the self-starting property of Section 3.4: the
+// longest leading /name[@id='x'] sequence (for a union, the longest common
+// such prefix across branches). No schema or global state is consulted.
+func LCAPath(query string) (xmldb.IDPath, error) {
+	expr, err := xpath.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	paths, err := unionBranches(expr)
+	if err != nil {
+		return nil, fmt.Errorf("qeg: %q: %w", query, err)
+	}
+	var lca xmldb.IDPath
+	for i, p := range paths {
+		prefix, _ := xpath.IDPrefix(p)
+		if len(prefix) == 0 {
+			return nil, fmt.Errorf("qeg: query %q has no routable ID prefix (it must start at the document root, e.g. /usRegion[@id='NE']/...)", query)
+		}
+		if i == 0 {
+			lca = prefix
+			continue
+		}
+		lca = commonIDPrefix(lca, prefix)
+		if len(lca) == 0 {
+			return nil, fmt.Errorf("qeg: union branches of %q share no common root", query)
+		}
+	}
+	return lca, nil
+}
+
+func commonIDPrefix(a, b xmldb.IDPath) xmldb.IDPath {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return a[:i].Clone()
+}
+
+// ExtractAnswer runs the original user query against an assembled answer
+// fragment and returns clean copies of the selected subtrees (status tags
+// stripped). Consistency predicates are removed first: the fragment already
+// reflects the freshness decisions QEG made, and the paper's owner-side
+// semantics ("return the freshest data even if older than the tolerance")
+// must not be re-filtered away.
+func ExtractAnswer(fragRoot *xmldb.Node, query string, now func() float64) ([]*xmldb.Node, error) {
+	expr, err := xpath.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	expr = xpath.StripConsistency(expr)
+	ctx := &xpatheval.Context{Root: fragRoot, Now: now}
+	ns, err := xpatheval.Select(expr, ctx, fragRoot)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*xmldb.Node, 0, len(ns))
+	for _, n := range ns {
+		if xpatheval.IsAttrNode(n) {
+			if !fragment.EffectiveStatus(n.Parent).HasLocalInfo() {
+				continue
+			}
+			out = append(out, n.Clone())
+			continue
+		}
+		// Placeholder stubs (incomplete/id-complete) are bookkeeping, not
+		// data: a predicate that vacuously passes on a stub (e.g. a not()
+		// over missing children) must not surface the stub as an answer.
+		// Genuine answer nodes always carry full local information in the
+		// assembled fragment, by construction of the gather phase.
+		if !fragment.EffectiveStatus(n).HasLocalInfo() {
+			continue
+		}
+		out = append(out, fragment.StripInternal(n))
+	}
+	return out, nil
+}

@@ -1,0 +1,131 @@
+package sensor
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"irisnet/internal/naming"
+	"irisnet/internal/site"
+	"irisnet/internal/transport"
+	"irisnet/internal/xmldb"
+)
+
+func targetPaths(t *testing.T, n int) []xmldb.IDPath {
+	t.Helper()
+	var out []xmldb.IDPath
+	for i := 0; i < n; i++ {
+		out = append(out, xmldb.IDPath{
+			{Name: "usRegion", ID: "NE"},
+			{Name: "block", ID: "1"},
+			{Name: "parkingSpace", ID: string(rune('1' + i))},
+		})
+	}
+	return out
+}
+
+// fakeOA accepts update messages and counts them.
+func fakeOA(t *testing.T, net *transport.SimNet, name string, count *atomic.Int64, fail bool) {
+	t.Helper()
+	err := net.Register(name, func(p []byte) ([]byte, error) {
+		msg, err := site.DecodeMessage(p)
+		if err != nil {
+			return nil, err
+		}
+		if msg.Kind != site.KindUpdate {
+			return nil, errors.New("unexpected kind")
+		}
+		if fail {
+			return (&site.Message{Kind: site.KindError, Error: "injected"}).Encode(), nil
+		}
+		count.Add(1)
+		return (&site.Message{Kind: site.KindOK}).Encode(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testResolver(reg *naming.Registry) *naming.Client {
+	return naming.NewClient(reg, "svc", time.Hour, nil)
+}
+
+func TestAgentSendsUpdates(t *testing.T) {
+	net := transport.NewSimNet(transport.SimConfig{})
+	reg := naming.NewRegistry()
+	reg.Set("ne.svc", "oa1")
+	var applied atomic.Int64
+	fakeOA(t, net, "oa1", &applied, false)
+
+	a := NewAgent(net, testResolver(reg), targetPaths(t, 3), 7)
+	for i := 0; i < 10; i++ {
+		r := a.NextReading()
+		if r.Fields["available"] != "yes" && r.Fields["available"] != "no" {
+			t.Fatalf("reading = %v", r)
+		}
+		if err := a.Send(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Sent.Value() != 10 || applied.Load() != 10 {
+		t.Fatalf("sent=%d applied=%d", a.Sent.Value(), applied.Load())
+	}
+}
+
+func TestAgentErrorPaths(t *testing.T) {
+	net := transport.NewSimNet(transport.SimConfig{})
+	reg := naming.NewRegistry()
+	a := NewAgent(net, testResolver(reg), targetPaths(t, 1), 1)
+	// Unresolvable owner.
+	if err := a.Send(a.NextReading()); err == nil {
+		t.Fatal("unresolvable owner should error")
+	}
+	if a.Errors.Value() != 1 {
+		t.Fatal("error not counted")
+	}
+	// Remote rejection.
+	reg.Set("ne.svc", "oa-bad")
+	var n atomic.Int64
+	fakeOA(t, net, "oa-bad", &n, true)
+	if err := a.Send(a.NextReading()); err == nil {
+		t.Fatal("remote rejection should error")
+	}
+}
+
+func TestGeneratorClosedLoop(t *testing.T) {
+	net := transport.NewSimNet(transport.SimConfig{})
+	reg := naming.NewRegistry()
+	reg.Set("ne.svc", "oa1")
+	var applied atomic.Int64
+	fakeOA(t, net, "oa1", &applied, false)
+
+	agents, err := SplitTargets(targetPaths(t, 6), 3, net, func() *naming.Client { return testResolver(reg) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(agents) != 3 {
+		t.Fatalf("agents = %d", len(agents))
+	}
+	g := NewGenerator(agents)
+	total := g.Run(80 * time.Millisecond)
+	if total == 0 || applied.Load() != total {
+		t.Fatalf("total=%d applied=%d", total, applied.Load())
+	}
+}
+
+func TestSplitTargetsValidation(t *testing.T) {
+	if _, err := SplitTargets(nil, 0, nil, nil); err == nil {
+		t.Fatal("zero agents should error")
+	}
+	net := transport.NewSimNet(transport.SimConfig{})
+	reg := naming.NewRegistry()
+	// More agents than targets: empty buckets dropped.
+	agents, err := SplitTargets(targetPaths(t, 2), 5, net, func() *naming.Client { return testResolver(reg) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(agents) != 2 {
+		t.Fatalf("agents = %d, want 2", len(agents))
+	}
+}

@@ -1,0 +1,106 @@
+package service
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWatchQueryDeliversChanges(t *testing.T) {
+	fe, db, _, _, _ := deploy(t)
+	target := db.SpacePaths[0]
+	q := target.Parent().String() + "/parkingSpace[available='watch-me']"
+
+	w, err := fe.WatchQuery(q, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Stop()
+
+	// Make the space match the standing query.
+	if err := fe.Update(target, map[string]string{"available": "watch-me"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ch := <-w.C:
+		if len(ch.Added) != 1 || len(ch.Removed) != 0 {
+			t.Fatalf("first change = %+v", ch)
+		}
+		if !strings.Contains(ch.Added[0], "watch-me") {
+			t.Fatalf("added = %v", ch.Added)
+		}
+		if ch.Seq != 1 {
+			t.Fatalf("seq = %d", ch.Seq)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no change delivered after update")
+	}
+
+	// Un-match it: the watcher sees the removal.
+	if err := fe.Update(target, map[string]string{"available": "no"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ch := <-w.C:
+		if len(ch.Removed) != 1 || len(ch.Answer) != 0 {
+			t.Fatalf("second change = %+v", ch)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no removal delivered")
+	}
+	if w.Err() != nil {
+		t.Fatalf("watch error: %v", w.Err())
+	}
+}
+
+func TestWatchQueryStop(t *testing.T) {
+	fe, db, _, _, _ := deploy(t)
+	q := db.BlockQuery(0, 0, 0)
+	w, err := fe.WatchQuery(q, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Stop()
+	// The channel closes after Stop.
+	for range w.C {
+	}
+	// Stop is idempotent.
+	w.Stop()
+}
+
+func TestWatchQueryValidation(t *testing.T) {
+	fe, db, _, _, _ := deploy(t)
+	if _, err := fe.WatchQuery("][", time.Millisecond); err == nil {
+		t.Fatal("bad query should be rejected up front")
+	}
+	if _, err := fe.WatchQuery(db.BlockQuery(0, 0, 0), 0); err == nil {
+		t.Fatal("non-positive interval should be rejected")
+	}
+}
+
+func TestWatchQueryTerminatesOnError(t *testing.T) {
+	fe, db, sites, _, _ := deploy(t)
+	q := db.BlockQuery(0, 0, 0)
+	w, err := fe.WatchQuery(q, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the deployment: the next poll fails and the watch terminates.
+	for _, s := range sites {
+		s.Stop()
+	}
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case _, ok := <-w.C:
+			if !ok {
+				if w.Err() == nil {
+					t.Fatal("terminated watch should report its error")
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("watch did not terminate after site failure")
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Package service provides the user-facing front end: it turns an XPath
+// query into a self-starting distributed query (Section 3.4) by extracting
+// the lowest-common-ancestor ID path from the query text, resolving its
+// DNS-style name, sending the query to that site, and extracting the final
+// answer from the returned fragment.
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"irisnet/internal/naming"
+	"irisnet/internal/qeg"
+	"irisnet/internal/site"
+	"irisnet/internal/transport"
+	"irisnet/internal/xmldb"
+)
+
+// Frontend poses queries on behalf of users anywhere on the Internet.
+type Frontend struct {
+	// Net is the transport used to reach sites.
+	Net transport.Network
+	// DNS resolves node names; a frontend typically has its own resolver
+	// cache (the "DNS server near the query").
+	DNS *naming.Client
+	// Clock supplies now() for consistency evaluation; nil uses wall time.
+	Clock func() float64
+	// ForceEntry, when non-empty, routes every query to the named site,
+	// bypassing self-starting (used by the architecture-comparison and
+	// micro-benchmark experiments that pin the entry point).
+	ForceEntry string
+}
+
+// NewFrontend builds a frontend.
+func NewFrontend(net transport.Network, dns *naming.Client) *Frontend {
+	return &Frontend{
+		Net: net,
+		DNS: dns,
+		Clock: func() float64 {
+			return float64(time.Now().UnixNano()) / 1e9
+		},
+	}
+}
+
+// RouteOf returns the site a query would be sent to, without sending it:
+// the owner of the query's LCA node. Exposed for tests and the harness.
+func (f *Frontend) RouteOf(query string) (string, xmldb.IDPath, error) {
+	if f.ForceEntry != "" {
+		return f.ForceEntry, nil, nil
+	}
+	lca, err := LCAPath(query)
+	if err != nil {
+		return "", nil, err
+	}
+	entry, err := f.DNS.Resolve(lca)
+	if err != nil {
+		return "", nil, err
+	}
+	return entry, lca, nil
+}
+
+// Query runs the query end to end and returns the selected subtrees with
+// internal bookkeeping stripped.
+func (f *Frontend) Query(query string) ([]*xmldb.Node, error) {
+	frag, err := f.QueryFragment(query)
+	if err != nil {
+		return nil, err
+	}
+	return qeg.ExtractAnswer(frag, query, f.Clock)
+}
+
+// QueryFragment runs the query and returns the raw assembled answer
+// fragment (status-tagged, C1/C2-valid), which callers may cache.
+func (f *Frontend) QueryFragment(query string) (*xmldb.Node, error) {
+	entry, _, err := f.RouteOf(query)
+	if err != nil {
+		return nil, err
+	}
+	msg := &site.Message{Kind: site.KindQuery, Query: query}
+	respB, err := f.Net.Call(entry, msg.Encode())
+	if err != nil {
+		return nil, fmt.Errorf("service: query to %s: %w", entry, err)
+	}
+	resp, err := site.DecodeMessage(respB)
+	if err != nil {
+		return nil, err
+	}
+	if e := resp.AsError(); e != nil {
+		return nil, e
+	}
+	return xmldb.ParseString(resp.Fragment)
+}
+
+// LCAPath extracts the ID path of the query's lowest common ancestor from
+// the query text alone — the paper's key self-starting property: no global
+// information, no schema, just the leading /name[@id='x'] sequence (for a
+// union, the longest common such prefix across branches).
+func LCAPath(query string) (xmldb.IDPath, error) { return qeg.LCAPath(query) }
+
+// Update sends a sensor update to the owner of the target node, resolved
+// via DNS exactly as sensing agents do.
+func (f *Frontend) Update(path xmldb.IDPath, fields, attrs map[string]string) error {
+	owner, err := f.DNS.Resolve(path)
+	if err != nil {
+		return err
+	}
+	msg := &site.Message{Kind: site.KindUpdate, Path: path.String(), Fields: fields, Attrs: attrs}
+	respB, err := f.Net.Call(owner, msg.Encode())
+	if err != nil {
+		return err
+	}
+	resp, err := site.DecodeMessage(respB)
+	if err != nil {
+		return err
+	}
+	return resp.AsError()
+}

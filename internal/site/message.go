@@ -1,0 +1,70 @@
+// Package site implements the organizing agent (OA): the per-site server
+// that owns a document fragment, answers XPath queries with the
+// query-evaluate-gather loop, applies sensor updates, caches answer
+// fragments, and participates in ownership migration.
+package site
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Message kinds.
+const (
+	KindQuery    = "query"    // Query set; returns Fragment
+	KindUpdate   = "update"   // Path + Fields/Attrs sensor update
+	KindDelegate = "delegate" // Path + NewOwner: start ownership migration
+	KindSchema   = "schema"   // Path + Op + Fields: schema change (Section 4)
+	KindTake     = "take"     // Path + Fragment: accept ownership (internal)
+	KindOK       = "ok"
+	KindResult   = "result"
+	KindError    = "error"
+)
+
+// Message is the wire envelope between sites (and from frontends/sensing
+// agents to sites). Fragments travel as XML text, exercising real
+// serialization on both ends as the paper's prototype does.
+type Message struct {
+	Kind     string            `json:"kind"`
+	Query    string            `json:"query,omitempty"`
+	Fragment string            `json:"fragment,omitempty"`
+	Path     string            `json:"path,omitempty"`
+	Fields   map[string]string `json:"fields,omitempty"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	NewOwner string            `json:"newOwner,omitempty"`
+	Op       string            `json:"op,omitempty"`
+	Paths    []string          `json:"paths,omitempty"`
+	Error    string            `json:"error,omitempty"`
+}
+
+// Encode marshals the message.
+func (m *Message) Encode() []byte {
+	b, err := json.Marshal(m)
+	if err != nil {
+		// Message fields are plain strings/maps; marshaling cannot fail.
+		panic(fmt.Sprintf("site: encoding message: %v", err))
+	}
+	return b
+}
+
+// DecodeMessage unmarshals a message payload.
+func DecodeMessage(b []byte) (*Message, error) {
+	var m Message
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("site: decoding message: %w", err)
+	}
+	return &m, nil
+}
+
+// errorMessage wraps an error for the wire.
+func errorMessage(err error) *Message {
+	return &Message{Kind: KindError, Error: err.Error()}
+}
+
+// AsError converts an error-kind message back to a Go error.
+func (m *Message) AsError() error {
+	if m.Kind == KindError {
+		return fmt.Errorf("remote: %s", m.Error)
+	}
+	return nil
+}

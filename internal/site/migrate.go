@@ -1,0 +1,165 @@
+package site
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"irisnet/internal/fragment"
+	"irisnet/internal/naming"
+	"irisnet/internal/xmldb"
+)
+
+// Ownership migration (Section 4, "Ownership changes"). Transferring the
+// subtree rooted at an IDable node from its current owner to a new site:
+//
+//  1. the new owner receives a copy of the local information of every
+//     transferred node (one "take" message),
+//  2. the new owner marks them owned,
+//  3. the old owner downgrades its copies to complete,
+//  4. the DNS entries are repointed to the new owner.
+//
+// The old owner holds its store lock for the duration, so queries arriving
+// mid-transfer wait and then see a consistent state; queries arriving at
+// the old owner afterwards (stale DNS) are still answerable from its
+// complete copy, and updates are forwarded (site.handleUpdate).
+
+// Delegate transfers ownership of the node at path (and every descendant
+// this site owns) to the named site. It is driven by the load-balancing
+// harness and by the "delegate" wire message.
+func (s *Site) Delegate(path xmldb.IDPath, newOwner string) error {
+	if newOwner == s.cfg.Name {
+		return fmt.Errorf("site %s: cannot delegate %s to itself", s.cfg.Name, path)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	if !s.owned[path.Key()] {
+		return fmt.Errorf("site %s: does not own %s", s.cfg.Name, path)
+	}
+	transfer := s.ownedUnderLocked(path)
+
+	// Build the transfer fragment: ancestors' local ID information plus the
+	// local information of every transferred node (exactly the data the new
+	// owner must hold to satisfy I1/I2).
+	frag := fragment.NewStore(s.store.Root.Name, s.store.Root.ID())
+	for _, p := range transfer {
+		for i := 1; i < len(p); i++ {
+			anc := s.store.NodeAt(p[:i])
+			if anc == nil {
+				return fmt.Errorf("site %s: ancestor %s missing (I2 violation)", s.cfg.Name, p[:i])
+			}
+			if err := frag.InstallLocalIDInfo(p[:i].Clone(), fragment.LocalIDInfo(anc)); err != nil {
+				return err
+			}
+		}
+		n := s.store.NodeAt(p)
+		if err := frag.InstallLocalInfo(p, fragment.LocalInfo(n), fragment.StatusComplete); err != nil {
+			return err
+		}
+	}
+
+	keys := make([]string, len(transfer))
+	for i, p := range transfer {
+		keys[i] = p.String()
+	}
+	take := &Message{
+		Kind:     KindTake,
+		Fragment: frag.Root.String(),
+		Paths:    keys,
+	}
+	respB, err := s.cfg.Net.Call(newOwner, take.Encode())
+	if err != nil {
+		return fmt.Errorf("site %s: transferring %s to %s: %w", s.cfg.Name, path, newOwner, err)
+	}
+	resp, err := DecodeMessage(respB)
+	if err != nil {
+		return err
+	}
+	if e := resp.AsError(); e != nil {
+		return fmt.Errorf("site %s: new owner rejected transfer: %w", s.cfg.Name, e)
+	}
+
+	// Step 3: downgrade local copies; step 4: repoint DNS (the atomic
+	// commit point from the rest of the system's perspective).
+	for _, p := range transfer {
+		delete(s.owned, p.Key())
+		s.migrated[p.Key()] = newOwner
+		if n := s.store.NodeAt(p); n != nil {
+			fragment.SetStatus(n, fragment.StatusComplete)
+		}
+	}
+	if s.cfg.Registry != nil {
+		for _, p := range transfer {
+			s.cfg.Registry.Set(naming.DNSName(p, s.cfg.Service), newOwner)
+		}
+	}
+	return nil
+}
+
+// ownedUnderLocked returns the sorted owned paths at or below path.
+func (s *Site) ownedUnderLocked(path xmldb.IDPath) []xmldb.IDPath {
+	prefix := path.Key()
+	var out []xmldb.IDPath
+	for k := range s.owned {
+		if k == prefix || strings.HasPrefix(k, prefix+"/") {
+			p, err := xmldb.ParseIDPath(k)
+			if err != nil {
+				continue
+			}
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return len(out[i]) < len(out[j]) })
+	return out
+}
+
+// handleDelegate serves the wire form of Delegate.
+func (s *Site) handleDelegate(msg *Message) *Message {
+	p, err := xmldb.ParseIDPath(msg.Path)
+	if err != nil {
+		return errorMessage(err)
+	}
+	if err := s.Delegate(p, msg.NewOwner); err != nil {
+		return errorMessage(err)
+	}
+	return &Message{Kind: KindOK}
+}
+
+// handleTake accepts ownership of the transferred nodes.
+func (s *Site) handleTake(msg *Message) *Message {
+	frag, err := xmldb.ParseString(msg.Fragment)
+	if err != nil {
+		return errorMessage(err)
+	}
+	var paths []xmldb.IDPath
+	for _, k := range msg.Paths {
+		p, err := xmldb.ParseIDPath(k)
+		if err != nil {
+			return errorMessage(fmt.Errorf("site %s: bad transfer path %q: %w", s.cfg.Name, k, err))
+		}
+		paths = append(paths, p)
+	}
+	var takeErr error
+	s.cpu.Do(func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if takeErr = s.store.MergeFragment(frag); takeErr != nil {
+			return
+		}
+		for _, p := range paths {
+			n := s.store.NodeAt(p)
+			if n == nil {
+				takeErr = fmt.Errorf("site %s: transferred node %s missing after merge", s.cfg.Name, p)
+				return
+			}
+			fragment.SetStatus(n, fragment.StatusOwned)
+			s.owned[p.Key()] = true
+			delete(s.migrated, p.Key())
+		}
+	})
+	if takeErr != nil {
+		return errorMessage(takeErr)
+	}
+	return &Message{Kind: KindOK}
+}

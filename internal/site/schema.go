@@ -1,0 +1,149 @@
+package site
+
+import (
+	"fmt"
+
+	"irisnet/internal/fragment"
+	"irisnet/internal/naming"
+	"irisnet/internal/xmldb"
+)
+
+// Schema changes (Section 4, "Schema changes"). Changes that do not affect
+// the IDable hierarchy — adding/removing attributes and non-IDable nodes —
+// are performed locally by the organizing agent owning the fragment.
+// Adding or deleting IDable nodes is performed by the owner of the parent,
+// which also maintains the DNS entries. Both kinds may leave cached copies
+// elsewhere transiently inconsistent, which the paper accepts for this
+// class of applications; caches converge as fresh answers flow.
+
+// SchemaOp identifies a schema-change operation.
+type SchemaOp string
+
+// Supported schema operations.
+const (
+	// OpSetAttrs adds or replaces attributes on an owned node (Fields in
+	// the wire message carry name->value).
+	OpSetAttrs SchemaOp = "set-attrs"
+	// OpDelAttrs removes the named attributes (keys of Fields).
+	OpDelAttrs SchemaOp = "del-attrs"
+	// OpAddChild adds a non-IDable child element (Name in Fields["name"],
+	// text in Fields["text"]) to an owned node.
+	OpAddChild SchemaOp = "add-child"
+	// OpDelChild removes all non-IDable children with Fields["name"].
+	OpDelChild SchemaOp = "del-child"
+	// OpAddIDable adds a new IDable child (Fields["name"], Fields["id"]).
+	// Ownership defaults to this site (the parent's owner), and the DNS
+	// entry is registered.
+	OpAddIDable SchemaOp = "add-idable"
+	// OpDelIDable deletes an IDable child and its subtree. Only subtrees
+	// wholly owned by this site may be deleted; the DNS entries are
+	// removed via re-pointing to the empty owner.
+	OpDelIDable SchemaOp = "del-idable"
+)
+
+// SchemaChange applies one schema operation to the owned node at path.
+func (s *Site) SchemaChange(op SchemaOp, p xmldb.IDPath, args map[string]string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.owned[p.Key()] {
+		return fmt.Errorf("site %s: schema change on unowned node %s", s.cfg.Name, p)
+	}
+	n := s.store.NodeAt(p)
+	if n == nil {
+		return fmt.Errorf("site %s: owned node %s missing", s.cfg.Name, p)
+	}
+	switch op {
+	case OpSetAttrs:
+		for name, val := range args {
+			if name == xmldb.AttrID || name == xmldb.AttrStatus {
+				return fmt.Errorf("site %s: attribute %q is reserved", s.cfg.Name, name)
+			}
+			n.SetAttr(name, val)
+		}
+	case OpDelAttrs:
+		for name := range args {
+			if name == xmldb.AttrID || name == xmldb.AttrStatus {
+				return fmt.Errorf("site %s: attribute %q is reserved", s.cfg.Name, name)
+			}
+			n.DelAttr(name)
+		}
+	case OpAddChild:
+		name := args["name"]
+		if name == "" {
+			return fmt.Errorf("site %s: add-child needs a name", s.cfg.Name)
+		}
+		c := n.AddChild(xmldb.NewNode(name))
+		c.Text = args["text"]
+	case OpDelChild:
+		name := args["name"]
+		removed := false
+		for _, c := range n.ChildrenNamed(name) {
+			if c.ID() != "" {
+				return fmt.Errorf("site %s: %q is IDable; use del-idable", s.cfg.Name, name)
+			}
+			n.RemoveChild(c)
+			removed = true
+		}
+		if !removed {
+			return fmt.Errorf("site %s: no non-IDable child %q under %s", s.cfg.Name, name, p)
+		}
+	case OpAddIDable:
+		name, id := args["name"], args["id"]
+		if name == "" || id == "" {
+			return fmt.Errorf("site %s: add-idable needs name and id", s.cfg.Name)
+		}
+		if n.Child(name, id) != nil {
+			return fmt.Errorf("site %s: child <%s id=%q> already exists", s.cfg.Name, name, id)
+		}
+		child := n.AddChild(xmldb.NewElem(name, id))
+		fragment.SetStatus(child, fragment.StatusOwned)
+		cp := p.Child(name, id)
+		s.owned[cp.Key()] = true
+		if s.cfg.Registry != nil {
+			s.cfg.Registry.Set(naming.DNSName(cp, s.cfg.Service), s.cfg.Name)
+		}
+	case OpDelIDable:
+		name, id := args["name"], args["id"]
+		child := n.Child(name, id)
+		if child == nil {
+			return fmt.Errorf("site %s: no child <%s id=%q> under %s", s.cfg.Name, name, id, p)
+		}
+		cp := p.Child(name, id)
+		// Every node in the deleted subtree must be owned here.
+		var unowned bool
+		child.Walk(func(x *xmldb.Node) bool {
+			if x.ID() != "" || x == child {
+				if xp, ok := xmldb.IDPathOf(x); ok && !s.owned[xp.Key()] {
+					unowned = true
+					return false
+				}
+			}
+			return true
+		})
+		if unowned {
+			return fmt.Errorf("site %s: subtree %s has nodes owned elsewhere; migrate first", s.cfg.Name, cp)
+		}
+		n.RemoveChild(child)
+		for k := range s.owned {
+			if k == cp.Key() || len(k) > len(cp.Key()) && k[:len(cp.Key())+1] == cp.Key()+"/" {
+				delete(s.owned, k)
+			}
+		}
+	default:
+		return fmt.Errorf("site %s: unknown schema op %q", s.cfg.Name, op)
+	}
+	fragment.SetTimestamp(n, s.cfg.Clock())
+	return nil
+}
+
+// handleSchema serves the wire form of SchemaChange.
+func (s *Site) handleSchema(msg *Message) *Message {
+	p, err := xmldb.ParseIDPath(msg.Path)
+	if err != nil {
+		return errorMessage(err)
+	}
+	if err := s.SchemaChange(SchemaOp(msg.Op), p, msg.Fields); err != nil {
+		return errorMessage(err)
+	}
+	return &Message{Kind: KindOK}
+}

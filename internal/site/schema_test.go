@@ -1,0 +1,169 @@
+package site
+
+import (
+	"strings"
+	"testing"
+
+	"irisnet/internal/naming"
+	"irisnet/internal/workload"
+	"irisnet/internal/xmldb"
+)
+
+func schemaDeployment(t *testing.T) (*testDeployment, *Site, xmldb.IDPath) {
+	t.Helper()
+	d := deploy(t, false)
+	nbPath := d.db.NeighborhoodPath(0, 0)
+	owner := d.sites[d.assign.OwnerOf(nbPath)]
+	return d, owner, nbPath
+}
+
+func TestSchemaSetAndDelAttrs(t *testing.T) {
+	_, owner, nbPath := schemaDeployment(t)
+	if err := owner.SchemaChange(OpSetAttrs, nbPath, map[string]string{"numberOfFreeSpots": "8"}); err != nil {
+		t.Fatal(err)
+	}
+	snap := owner.StoreSnapshot()
+	if v, _ := snap.NodeAt(nbPath).Attr("numberOfFreeSpots"); v != "8" {
+		t.Fatalf("attribute not set: %q", v)
+	}
+	if err := owner.SchemaChange(OpDelAttrs, nbPath, map[string]string{"numberOfFreeSpots": ""}); err != nil {
+		t.Fatal(err)
+	}
+	snap = owner.StoreSnapshot()
+	if _, ok := snap.NodeAt(nbPath).Attr("numberOfFreeSpots"); ok {
+		t.Fatal("attribute not removed")
+	}
+	// Reserved attributes are protected.
+	if err := owner.SchemaChange(OpSetAttrs, nbPath, map[string]string{"id": "hack"}); err == nil {
+		t.Fatal("id must be protected")
+	}
+	if err := owner.SchemaChange(OpDelAttrs, nbPath, map[string]string{"status": ""}); err == nil {
+		t.Fatal("status must be protected")
+	}
+}
+
+func TestSchemaAddDelNonIDableChild(t *testing.T) {
+	d, owner, nbPath := schemaDeployment(t)
+	if err := owner.SchemaChange(OpAddChild, nbPath, map[string]string{"name": "available-spaces", "text": "42"}); err != nil {
+		t.Fatal(err)
+	}
+	// The new field is queryable immediately.
+	q := nbPath.String() + "/available-spaces"
+	frag := d.query(t, owner.Name(), q)
+	got := extracted(t, frag, q, d.clock)
+	if len(got) != 1 || !strings.Contains(got[0], "42") {
+		t.Fatalf("new field not queryable: %v", got)
+	}
+	// And usable in predicates.
+	q2 := nbPath.Parent().String() + "/neighborhood[available-spaces > 10]"
+	frag2 := d.query(t, owner.Name(), q2)
+	got2 := extracted(t, frag2, q2, d.clock)
+	if len(got2) != 1 {
+		t.Fatalf("predicate over new field = %v", got2)
+	}
+	if err := owner.SchemaChange(OpDelChild, nbPath, map[string]string{"name": "available-spaces"}); err != nil {
+		t.Fatal(err)
+	}
+	frag3 := d.query(t, owner.Name(), q)
+	if got3 := extracted(t, frag3, q, d.clock); len(got3) != 0 {
+		t.Fatalf("deleted field still present: %v", got3)
+	}
+	// Deleting a missing or IDable child fails.
+	if err := owner.SchemaChange(OpDelChild, nbPath, map[string]string{"name": "nope"}); err == nil {
+		t.Fatal("missing child should error")
+	}
+	if err := owner.SchemaChange(OpDelChild, nbPath, map[string]string{"name": "block"}); err == nil {
+		t.Fatal("IDable child must not be removable via del-child")
+	}
+}
+
+func TestSchemaAddDelIDableNode(t *testing.T) {
+	d, owner, nbPath := schemaDeployment(t)
+	// A new block appears in the neighborhood.
+	if err := owner.SchemaChange(OpAddIDable, nbPath, map[string]string{"name": "block", "id": "99"}); err != nil {
+		t.Fatal(err)
+	}
+	newBlock := nbPath.Child("block", "99")
+	if !owner.Owns(newBlock) {
+		t.Fatal("new IDable node should be owned by the parent's owner")
+	}
+	// DNS resolves the new node.
+	client := naming.NewClient(d.registry, workload.Service, 0, nil)
+	if got, ok := client.ResolveExact(newBlock); !ok || got != owner.Name() {
+		t.Fatalf("DNS for new node = %q, %v", got, ok)
+	}
+	// Queries see it (ID listed in the parent's local information).
+	q := nbPath.String() + "/block[@id='99']"
+	frag := d.query(t, owner.Name(), q)
+	if got := extracted(t, frag, q, d.clock); len(got) != 1 {
+		t.Fatalf("new block not queryable: %v", got)
+	}
+	// Duplicate rejected.
+	if err := owner.SchemaChange(OpAddIDable, nbPath, map[string]string{"name": "block", "id": "99"}); err == nil {
+		t.Fatal("duplicate IDable child should error")
+	}
+	// Delete it again.
+	if err := owner.SchemaChange(OpDelIDable, nbPath, map[string]string{"name": "block", "id": "99"}); err != nil {
+		t.Fatal(err)
+	}
+	if owner.Owns(newBlock) {
+		t.Fatal("deleted node still owned")
+	}
+	frag2 := d.query(t, owner.Name(), q)
+	if got := extracted(t, frag2, q, d.clock); len(got) != 0 {
+		t.Fatalf("deleted block still queryable: %v", got)
+	}
+}
+
+func TestSchemaDelIDableRefusesForeignSubtree(t *testing.T) {
+	d, owner, nbPath := schemaDeployment(t)
+	// Delegate one block away, then try to delete it from the parent.
+	blockPath := nbPath.Child("block", "1")
+	if err := owner.Delegate(blockPath, "root-site"); err != nil {
+		t.Fatal(err)
+	}
+	err := owner.SchemaChange(OpDelIDable, nbPath, map[string]string{"name": "block", "id": "1"})
+	if err == nil {
+		t.Fatal("deleting a subtree owned elsewhere must fail")
+	}
+	_ = d
+}
+
+func TestSchemaChangeRequiresOwnership(t *testing.T) {
+	d, _, nbPath := schemaDeployment(t)
+	other := d.sites["root-site"]
+	if err := other.SchemaChange(OpSetAttrs, nbPath, map[string]string{"x": "y"}); err == nil {
+		t.Fatal("schema change on unowned node must fail")
+	}
+	if err := other.SchemaChange("bogus-op", nbPath, nil); err == nil {
+		t.Fatal("unknown op must fail")
+	}
+}
+
+func TestSchemaWireMessage(t *testing.T) {
+	d, owner, nbPath := schemaDeployment(t)
+	msg := &Message{
+		Kind:   KindSchema,
+		Op:     string(OpSetAttrs),
+		Path:   nbPath.String(),
+		Fields: map[string]string{"zipcode2": "15206"},
+	}
+	respB, err := d.net.Call(owner.Name(), msg.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := DecodeMessage(respB)
+	if e := resp.AsError(); e != nil {
+		t.Fatalf("wire schema change: %v", e)
+	}
+	snap := owner.StoreSnapshot()
+	if v, _ := snap.NodeAt(nbPath).Attr("zipcode2"); v != "15206" {
+		t.Fatal("wire schema change not applied")
+	}
+	// Bad path errors.
+	respB, _ = d.net.Call(owner.Name(), (&Message{Kind: KindSchema, Op: string(OpSetAttrs), Path: "bad"}).Encode())
+	resp, _ = DecodeMessage(respB)
+	if resp.AsError() == nil {
+		t.Fatal("bad path should error")
+	}
+}

@@ -1,0 +1,485 @@
+package site
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"irisnet/internal/fragment"
+	"irisnet/internal/metrics"
+	"irisnet/internal/naming"
+	"irisnet/internal/qeg"
+	"irisnet/internal/transport"
+	"irisnet/internal/xmldb"
+	"irisnet/internal/xpath"
+)
+
+// Config configures an organizing agent.
+type Config struct {
+	// Name is the site's transport address.
+	Name string
+	// Service is the DNS suffix of the sensor service (e.g.
+	// "parking.intel-iris.net").
+	Service string
+	// Net delivers messages between sites.
+	Net transport.Network
+	// DNS resolves IDable-node names to sites.
+	DNS *naming.Client
+	// Registry is the authoritative DNS store, written during migrations.
+	Registry naming.Store
+	// Schema is the service's document schema.
+	Schema *xpath.Schema
+	// Caching controls whether answer fragments returned by subqueries are
+	// merged into the site database (the paper's aggressive caching).
+	Caching bool
+	// CacheBypass makes query evaluation ignore cached (complete) data,
+	// always re-fetching from owners, while cache writes still happen when
+	// Caching is set. It implements the Section 5.5 bypass suggestion and
+	// the "caching with no hits" condition of Figure 10.
+	CacheBypass bool
+	// NaivePlans selects the unoptimized per-query XSLT generation path
+	// (Figure 11's "naive XSLT creation").
+	NaivePlans bool
+	// CPUSlots is the number of concurrent CPU-bound message-processing
+	// slots (1 models the paper's single-CPU machines).
+	CPUSlots int
+	// QueryWork, PerNodeWork and UpdateWork model the paper's heavier XML
+	// backend (Xindice + Xalan cost milliseconds per operation where this
+	// native engine costs microseconds): each query evaluation holds the
+	// site's CPU slot for QueryWork plus PerNodeWork per element node in
+	// the produced result fragment — so answering from a large cached
+	// fragment costs more than forwarding a query onward, the effect
+	// behind Figure 10 — and each sensor update holds the slot for
+	// UpdateWork. Slots are held without burning host CPU, keeping
+	// simulated capacity independent of the host's core count. Zero
+	// disables the synthetic costs.
+	QueryWork   time.Duration
+	PerNodeWork time.Duration
+	UpdateWork  time.Duration
+	// Clock returns the current time in seconds; nil uses the wall clock.
+	Clock func() float64
+}
+
+// Metrics exposes a site's counters to the harness.
+type Metrics struct {
+	Queries    metrics.Counter // queries and subqueries served
+	Subqueries metrics.Counter // subqueries this site issued
+	Updates    metrics.Counter // sensor updates applied
+	CacheHits  metrics.Counter // queries fully answered locally
+	Forwards   metrics.Counter // updates forwarded after migration
+	Breakdown  *metrics.Breakdown
+}
+
+// Site is one organizing agent.
+type Site struct {
+	cfg      Config
+	cpu      *transport.CPU
+	compiler *qeg.Compiler
+
+	mu       sync.RWMutex
+	store    *fragment.Store
+	owned    map[string]bool
+	migrated map[string]string // old-owner forwarding table: ID-path key -> new owner
+
+	Metrics Metrics
+}
+
+// New creates a site with an empty store rooted at the given document root.
+func New(cfg Config, rootName, rootID string) *Site {
+	if cfg.Clock == nil {
+		cfg.Clock = func() float64 { return float64(time.Now().UnixNano()) / 1e9 }
+	}
+	s := &Site{
+		cfg:      cfg,
+		cpu:      transport.NewCPU(cfg.CPUSlots),
+		compiler: qeg.NewCompiler(cfg.Schema, cfg.NaivePlans),
+		store:    fragment.NewStore(rootName, rootID),
+		owned:    map[string]bool{},
+		migrated: map[string]string{},
+	}
+	s.Metrics.Breakdown = metrics.NewBreakdown()
+	return s
+}
+
+// Load installs an initial store and owned set produced by
+// fragment.Partition.
+func (s *Site) Load(store *fragment.Store, owned []xmldb.IDPath) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.store = store
+	s.owned = map[string]bool{}
+	for _, p := range owned {
+		s.owned[p.Key()] = true
+	}
+}
+
+// Start registers the site on the network.
+func (s *Site) Start() error {
+	return s.cfg.Net.Register(s.cfg.Name, s.Handle)
+}
+
+// Stop unregisters the site.
+func (s *Site) Stop() { s.cfg.Net.Unregister(s.cfg.Name) }
+
+// Name returns the site's transport name.
+func (s *Site) Name() string { return s.cfg.Name }
+
+// StoreSnapshot returns a deep copy of the site database (tests/tools).
+func (s *Site) StoreSnapshot() *fragment.Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.store.Clone()
+}
+
+// OwnedPaths returns the keys of owned nodes (tests/tools).
+func (s *Site) OwnedPaths() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.owned))
+	for k := range s.owned {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Owns reports whether the site currently owns the node.
+func (s *Site) Owns(p xmldb.IDPath) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.owned[p.Key()]
+}
+
+// Handle is the transport entry point.
+func (s *Site) Handle(payload []byte) ([]byte, error) {
+	var resp *Message
+	msg, err := DecodeMessage(payload)
+	if err != nil {
+		return errorMessage(err).Encode(), nil
+	}
+	switch msg.Kind {
+	case KindQuery:
+		resp = s.handleQuery(msg)
+	case KindUpdate:
+		resp = s.handleUpdate(msg)
+	case KindDelegate:
+		resp = s.handleDelegate(msg)
+	case KindTake:
+		resp = s.handleTake(msg)
+	case KindSchema:
+		resp = s.handleSchema(msg)
+	default:
+		resp = errorMessage(fmt.Errorf("site %s: unknown message kind %q", s.cfg.Name, msg.Kind))
+	}
+	return resp.Encode(), nil
+}
+
+// handleQuery runs the full query-evaluate-gather loop for a query or
+// subquery arriving at this site and returns the assembled answer fragment.
+func (s *Site) handleQuery(msg *Message) *Message {
+	// Stale-DNS forwarding (Section 4): if the query targets a subtree this
+	// site delegated away, pass it to the new owner rather than serving a
+	// stale copy — the old owner "has the correct DNS entry in its cache".
+	if to, ok := s.forwardTarget(msg.Query); ok {
+		s.Metrics.Forwards.Inc()
+		respB, err := s.cfg.Net.Call(to, msg.Encode())
+		if err != nil {
+			return errorMessage(fmt.Errorf("site %s: forwarding to %s: %w", s.cfg.Name, to, err))
+		}
+		resp, err := DecodeMessage(respB)
+		if err != nil {
+			return errorMessage(err)
+		}
+		return resp
+	}
+
+	s.Metrics.Queries.Inc()
+	t0 := time.Now()
+
+	// Plan creation (Figure 11: "Creating the XSLT query").
+	var plans []*qeg.Plan
+	var planErr error
+	s.cpu.Do(func() {
+		plans, planErr = s.compiler.Compile(msg.Query)
+	})
+	s.Metrics.Breakdown.Add("create-plan", time.Since(t0))
+	if planErr != nil {
+		return errorMessage(planErr)
+	}
+
+	opts := qeg.Options{Now: s.cfg.Clock, IgnoreCached: s.cfg.CacheBypass}
+	ans := fragment.NewStore(s.rootName(), s.rootID())
+	seen := map[string]bool{}
+	askedAny := false
+
+	var execTime, commTime time.Duration
+	for _, plan := range plans {
+		var work *fragment.Store // nil = evaluate the live store
+		if plan.NestedIdx >= 0 {
+			s.mu.RLock()
+			work = s.store.Clone()
+			s.mu.RUnlock()
+		}
+		for round := 0; ; round++ {
+			if round > 64 {
+				return errorMessage(fmt.Errorf("site %s: gather did not converge for %q", s.cfg.Name, msg.Query))
+			}
+			var res *qeg.Result
+			var evalErr error
+			te := time.Now()
+			s.cpu.Do(func() {
+				if work != nil {
+					res, evalErr = qeg.Evaluate(work, plan, opts)
+				} else {
+					s.mu.RLock()
+					res, evalErr = qeg.Evaluate(s.store, plan, opts)
+					s.mu.RUnlock()
+				}
+				if s.cfg.QueryWork > 0 || s.cfg.PerNodeWork > 0 {
+					cost := s.cfg.QueryWork
+					if s.cfg.PerNodeWork > 0 && res != nil {
+						cost += time.Duration(res.Fragment.CountNodes()) * s.cfg.PerNodeWork
+					}
+					spin(cost)
+				}
+			})
+			execTime += time.Since(te)
+			if evalErr != nil {
+				return errorMessage(evalErr)
+			}
+
+			var fresh []qeg.Subquery
+			for _, sq := range res.Subqueries {
+				if !seen[sq.Key()] {
+					seen[sq.Key()] = true
+					fresh = append(fresh, sq)
+				}
+			}
+			if len(fresh) == 0 {
+				s.cpu.Do(func() {
+					evalErr = ans.MergeFragment(res.Fragment)
+				})
+				if evalErr != nil {
+					return errorMessage(fmt.Errorf("site %s: merging local result: %w", s.cfg.Name, evalErr))
+				}
+				break
+			}
+			askedAny = true
+			// Subqueries address disjoint parts of the hierarchy; fetch
+			// them concurrently (the splice itself stays serialized).
+			tc := time.Now()
+			subs := make([]*xmldb.Node, len(fresh))
+			errs := make([]error, len(fresh))
+			var wg sync.WaitGroup
+			for i, sq := range fresh {
+				wg.Add(1)
+				go func(i int, sq qeg.Subquery) {
+					defer wg.Done()
+					subs[i], errs[i] = s.fetchSubquery(sq)
+				}(i, sq)
+			}
+			wg.Wait()
+			commTime += time.Since(tc)
+			for _, err := range errs {
+				if err != nil {
+					return errorMessage(err)
+				}
+			}
+			for _, sub := range subs {
+				var mergeErr error
+				s.cpu.Do(func() {
+					if work != nil {
+						mergeErr = work.MergeFragment(sub)
+					}
+					if mergeErr == nil {
+						mergeErr = ans.MergeFragment(sub)
+					}
+					if mergeErr == nil && s.cfg.Caching {
+						s.mu.Lock()
+						mergeErr = s.store.MergeFragment(sub)
+						s.mu.Unlock()
+					}
+				})
+				if mergeErr != nil {
+					return errorMessage(fmt.Errorf("site %s: splicing subanswer: %w", s.cfg.Name, mergeErr))
+				}
+			}
+			if work == nil {
+				// Depth-0 plans finish after one fetch round: every
+				// subanswer is complete for its scope by induction.
+				var mergeErr error
+				s.cpu.Do(func() {
+					mergeErr = ans.MergeFragment(res.Fragment)
+				})
+				if mergeErr != nil {
+					return errorMessage(fmt.Errorf("site %s: merging local result: %w", s.cfg.Name, mergeErr))
+				}
+				break
+			}
+		}
+	}
+	if !askedAny {
+		s.Metrics.CacheHits.Inc()
+	}
+	s.Metrics.Breakdown.Add("execute-qeg", execTime)
+	s.Metrics.Breakdown.Add("communication", commTime)
+
+	var out string
+	s.cpu.Do(func() {
+		out = ans.Root.String()
+	})
+	total := time.Since(t0)
+	s.Metrics.Breakdown.Add("rest", total-execTime-commTime)
+	return &Message{Kind: KindResult, Fragment: out}
+}
+
+// fetchSubquery routes one subquery to the owner of its target node. CPU
+// is consumed for encode/decode; the network wait itself is not billed to
+// this site's capacity.
+func (s *Site) fetchSubquery(sq qeg.Subquery) (*xmldb.Node, error) {
+	s.Metrics.Subqueries.Inc()
+	owner, err := s.cfg.DNS.Resolve(sq.Target)
+	if err != nil {
+		return nil, fmt.Errorf("site %s: resolving %s: %w", s.cfg.Name, sq.Target, err)
+	}
+	var payload []byte
+	s.cpu.Do(func() {
+		payload = (&Message{Kind: KindQuery, Query: sq.Query}).Encode()
+	})
+	respB, err := s.cfg.Net.Call(owner, payload)
+	if err != nil {
+		return nil, fmt.Errorf("site %s: calling %s: %w", s.cfg.Name, owner, err)
+	}
+	var frag *xmldb.Node
+	var derr error
+	s.cpu.Do(func() {
+		var resp *Message
+		resp, derr = DecodeMessage(respB)
+		if derr != nil {
+			return
+		}
+		if e := resp.AsError(); e != nil {
+			derr = e
+			return
+		}
+		frag, derr = xmldb.ParseString(resp.Fragment)
+	})
+	if derr != nil {
+		return nil, fmt.Errorf("site %s: subanswer from %s: %w", s.cfg.Name, owner, derr)
+	}
+	return frag, nil
+}
+
+// handleUpdate applies a sensor update to an owned node, stamping it with
+// the site clock. Updates for nodes that migrated away are forwarded to
+// the current owner (one hop; the registry is authoritative).
+func (s *Site) handleUpdate(msg *Message) *Message {
+	p, err := xmldb.ParseIDPath(msg.Path)
+	if err != nil {
+		return errorMessage(err)
+	}
+	var owned bool
+	var applyErr error
+	s.cpu.Do(func() {
+		s.mu.Lock()
+		owned = s.owned[p.Key()]
+		if owned {
+			applyErr = s.applyUpdateLocked(p, msg.Fields, msg.Attrs)
+		}
+		s.mu.Unlock()
+		if owned {
+			s.updateCost()
+		}
+	})
+	if applyErr != nil {
+		return errorMessage(applyErr)
+	}
+	if owned {
+		s.Metrics.Updates.Inc()
+		return &Message{Kind: KindOK}
+	}
+	// Forward to the current owner per the registry (stale-DNS path after
+	// a migration).
+	s.Metrics.Forwards.Inc()
+	owner, ok := s.cfg.DNS.ResolveExact(p)
+	if !ok || owner == s.cfg.Name {
+		return errorMessage(fmt.Errorf("site %s: update for unowned node %s with no forwarding target", s.cfg.Name, p))
+	}
+	respB, err := s.cfg.Net.Call(owner, msg.Encode())
+	if err != nil {
+		return errorMessage(err)
+	}
+	resp, err := DecodeMessage(respB)
+	if err != nil {
+		return errorMessage(err)
+	}
+	return resp
+}
+
+func (s *Site) updateCost() {
+	if s.cfg.UpdateWork > 0 {
+		spin(s.cfg.UpdateWork)
+	}
+}
+
+func (s *Site) applyUpdateLocked(p xmldb.IDPath, fields, attrs map[string]string) error {
+	n := s.store.NodeAt(p)
+	if n == nil {
+		return fmt.Errorf("site %s: owned node %s missing from store", s.cfg.Name, p)
+	}
+	for name, val := range fields {
+		c := n.ChildNamed(name)
+		if c == nil {
+			c = n.AddChild(xmldb.NewNode(name))
+		}
+		c.Text = val
+	}
+	for name, val := range attrs {
+		if name == xmldb.AttrID || name == xmldb.AttrStatus {
+			continue // structural attributes are not sensor data
+		}
+		n.SetAttr(name, val)
+	}
+	fragment.SetTimestamp(n, s.cfg.Clock())
+	return nil
+}
+
+// forwardTarget reports whether the query's LCA falls inside a subtree
+// this site delegated away, and to whom.
+func (s *Site) forwardTarget(query string) (string, bool) {
+	s.mu.RLock()
+	n := len(s.migrated)
+	s.mu.RUnlock()
+	if n == 0 {
+		return "", false
+	}
+	lca, err := qeg.LCAPath(query)
+	if err != nil {
+		return "", false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for q := lca; len(q) > 0; q = q[:len(q)-1] {
+		if to, ok := s.migrated[xmldb.IDPath(q).Key()]; ok {
+			return to, true
+		}
+	}
+	return "", false
+}
+
+func (s *Site) rootName() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.store.Root.Name
+}
+
+func (s *Site) rootID() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.store.Root.ID()
+}
+
+// spin holds the caller's CPU slot for d. Sleeping (rather than busy
+// waiting) keeps simulated site capacity independent of host core count.
+func spin(d time.Duration) {
+	time.Sleep(d)
+}

@@ -1,0 +1,135 @@
+package site
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"irisnet/internal/fragment"
+	"irisnet/internal/qeg"
+	"irisnet/internal/xmldb"
+)
+
+// TestConcurrentTraffic drives queries, updates, cache fills and
+// migrations simultaneously and then checks that every site still
+// satisfies the storage invariants and that answers remain correct. Run
+// with -race to exercise the locking.
+func TestConcurrentTraffic(t *testing.T) {
+	d := deploy(t, true)
+	const workers = 6
+	const iters = 40
+
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+
+	// Query workers, each hitting all sites with all query types.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				q := d.db.BlockQuery((w+i)%2, i%2, i%3)
+				if (i % 3) == 0 {
+					q = d.db.TwoNeighborhoodQuery(w%2, 0, i%3, 1, (i+1)%3)
+				}
+				entry := "root-site"
+				if i%2 == 0 {
+					entry = "city-" + CityNameFor(w%2)
+				}
+				msg := &Message{Kind: KindQuery, Query: q}
+				respB, err := d.net.Call(entry, msg.Encode())
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				resp, err := DecodeMessage(respB)
+				if err != nil || resp.AsError() != nil {
+					failures.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	// Update workers.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				target := d.db.SpacePaths[(w*iters+i)%len(d.db.SpacePaths)]
+				owner := d.assign.OwnerOf(target)
+				// The original owner may have delegated; allow a forward.
+				msg := &Message{Kind: KindUpdate, Path: target.String(),
+					Fields: map[string]string{"available": fmt.Sprintf("v%d", i)}}
+				respB, err := d.net.Call(owner, msg.Encode())
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				if resp, err := DecodeMessage(respB); err != nil || resp.AsError() != nil {
+					failures.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	// A migration worker delegating blocks back and forth.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		src := d.sites[d.assign.OwnerOf(d.db.BlockPath(0, 0, 0))]
+		dst := d.sites["root-site"]
+		for i := 0; i < 6; i++ {
+			p := d.db.BlockPath(0, 0, i%d.db.Cfg.Blocks)
+			from, to := src, dst
+			if i%2 == 1 {
+				from, to = dst, src
+			}
+			if err := from.Delegate(p, to.Name()); err != nil {
+				// The other direction may not own it yet; that is fine.
+				continue
+			}
+		}
+	}()
+
+	wg.Wait()
+	if failures.Load() > 0 {
+		t.Fatalf("%d operations failed under concurrency", failures.Load())
+	}
+
+	// Every site still satisfies the structural invariants (ownership has
+	// moved, so check structure only, not values).
+	for name, s := range d.sites {
+		snap := s.StoreSnapshot()
+		var owned []xmldb.IDPath
+		for _, k := range s.OwnedPaths() {
+			p, err := xmldb.ParseIDPath(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			owned = append(owned, p)
+		}
+		if errs := fragment.CheckInvariants(snap, d.db.Doc, owned, false); len(errs) > 0 {
+			t.Fatalf("site %s invariants after stress: %v", name, errs)
+		}
+	}
+
+	// And a final query still gives the centralized answer shape: every
+	// block subtree query returns exactly the block.
+	q := d.db.BlockPath(1, 1, 1).String()
+	frag := d.query(t, "root-site", q)
+	ans, err := qeg.ExtractAnswer(frag, q, d.clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != 1 || ans[0].Name != "block" {
+		t.Fatalf("post-stress query answer: %v", ans)
+	}
+	if got := len(ans[0].ChildrenNamed("parkingSpace")); got != d.db.Cfg.Spaces {
+		t.Fatalf("post-stress block has %d spaces, want %d", got, d.db.Cfg.Spaces)
+	}
+}
+
+// CityNameFor mirrors workload.CityName for the stress test.
+func CityNameFor(i int) string { return fmt.Sprintf("City%d", i) }

@@ -1,0 +1,235 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCPNet is a Network over real TCP sockets, used by the cmd/ deployment
+// tools. Site names map to host:port addresses via a static address book
+// (a production deployment would publish these in DNS SRV records; the
+// address book keeps the offline tooling self-contained).
+//
+// Wire format per message: a 1-byte status (requests always 0; responses 0
+// for success, 1 for error), then a 4-byte big-endian length and that many
+// payload bytes. One request/response pair per connection acquisition;
+// connections are pooled per peer.
+type TCPNet struct {
+	mu        sync.RWMutex
+	addrs     map[string]string
+	listeners map[string]net.Listener
+	pools     map[string]*connPool
+}
+
+// NewTCPNet creates a TCP transport with the given site address book.
+func NewTCPNet(addrs map[string]string) *TCPNet {
+	book := map[string]string{}
+	for k, v := range addrs {
+		book[k] = v
+	}
+	return &TCPNet{addrs: book, listeners: map[string]net.Listener{}, pools: map[string]*connPool{}}
+}
+
+// SetAddr adds or updates one site's address.
+func (t *TCPNet) SetAddr(site, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.addrs[site] = addr
+}
+
+// Register implements Network: it starts listening on the site's address
+// and serves each connection with the handler.
+func (t *TCPNet) Register(site string, h Handler) error {
+	t.mu.Lock()
+	addr, ok := t.addrs[site]
+	if !ok {
+		t.mu.Unlock()
+		return fmt.Errorf("transport: no address for site %q", site)
+	}
+	if _, dup := t.listeners[site]; dup {
+		t.mu.Unlock()
+		return fmt.Errorf("transport: site %q already registered", site)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.mu.Unlock()
+		return fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	t.listeners[site] = ln
+	// The actual bound address (port 0 resolves on listen).
+	t.addrs[site] = ln.Addr().String()
+	t.mu.Unlock()
+
+	go t.serve(ln, h)
+	return nil
+}
+
+// Addr returns the bound address of a registered site.
+func (t *TCPNet) Addr(site string) (string, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	a, ok := t.addrs[site]
+	return a, ok
+}
+
+func (t *TCPNet) serve(ln net.Listener, h Handler) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go t.serveConn(conn, h)
+	}
+}
+
+func (t *TCPNet) serveConn(conn net.Conn, h Handler) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		_, payload, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		resp, herr := h(payload)
+		status := byte(0)
+		if herr != nil {
+			status = 1
+			resp = []byte(herr.Error())
+		}
+		if err := writeFrame(w, status, resp); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Unregister implements Network.
+func (t *TCPNet) Unregister(site string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ln, ok := t.listeners[site]; ok {
+		ln.Close()
+		delete(t.listeners, site)
+	}
+}
+
+// Call implements Network.
+func (t *TCPNet) Call(site string, payload []byte) ([]byte, error) {
+	t.mu.RLock()
+	addr, ok := t.addrs[site]
+	pool := t.pools[site]
+	t.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: unknown site %q", site)
+	}
+	if pool == nil {
+		t.mu.Lock()
+		pool = t.pools[site]
+		if pool == nil {
+			pool = &connPool{addr: addr}
+			t.pools[site] = pool
+		}
+		t.mu.Unlock()
+	}
+	c, err := pool.get()
+	if err != nil {
+		return nil, err
+	}
+	status, resp, err := c.roundTrip(payload)
+	if err != nil {
+		c.close()
+		return nil, err
+	}
+	pool.put(c)
+	if status != 0 {
+		return nil, fmt.Errorf("transport: remote error from %s: %s", site, resp)
+	}
+	return resp, nil
+}
+
+// connPool is a small free list of client connections to one peer.
+type connPool struct {
+	addr string
+	mu   sync.Mutex
+	free []*clientConn
+}
+
+type clientConn struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+func (p *connPool) get() (*clientConn, error) {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		c := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+	conn, err := net.Dial("tcp", p.addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", p.addr, err)
+	}
+	return &clientConn{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+func (p *connPool) put(c *clientConn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free) < 16 {
+		p.free = append(p.free, c)
+		return
+	}
+	c.close()
+}
+
+func (c *clientConn) roundTrip(payload []byte) (byte, []byte, error) {
+	if err := writeFrame(c.w, 0, payload); err != nil {
+		return 0, nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return 0, nil, err
+	}
+	return readFrame(c.r)
+}
+
+func (c *clientConn) close() { c.conn.Close() }
+
+const maxFrame = 64 << 20 // 64 MiB guards against corrupt length prefixes
+
+func writeFrame(w io.Writer, status byte, payload []byte) error {
+	var hdr [5]byte
+	hdr[0] = status
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}

@@ -1,0 +1,142 @@
+// Package transport moves request/response messages between sites. Two
+// implementations are provided: SimNet, an in-process network with a
+// configurable latency model (the benchmark substrate standing in for the
+// paper's LAN cluster), and TCPNet, a real TCP transport for the cmd/
+// deployment tools. Both carry opaque byte payloads; message encoding
+// belongs to the site layer.
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Handler processes one request payload and returns the response payload.
+type Handler func(payload []byte) ([]byte, error)
+
+// Network is the transport abstraction sites and frontends use.
+type Network interface {
+	// Call sends a request to the named site and blocks for its response.
+	Call(site string, payload []byte) ([]byte, error)
+	// Register attaches the handler serving a site name.
+	Register(site string, h Handler) error
+	// Unregister detaches a site (shutdown).
+	Unregister(site string)
+}
+
+// SimConfig tunes the simulated network.
+type SimConfig struct {
+	// Latency is the one-way network delay per message.
+	Latency time.Duration
+	// Jitter adds up to this much uniformly distributed extra delay.
+	Jitter time.Duration
+	// Seed feeds the jitter source; 0 uses a fixed default.
+	Seed int64
+}
+
+// SimNet is an in-process Network: calls are delivered to registered
+// handlers after the configured latency, and responses return after the
+// same latency, mimicking a request/response round trip on a LAN or WAN.
+type SimNet struct {
+	cfg SimConfig
+
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	rng      *rand.Rand
+	rngMu    sync.Mutex
+
+	calls    sync.Map // site -> *int64 like counter; simple metric
+	msgCount int64
+}
+
+// NewSimNet creates a simulated network.
+func NewSimNet(cfg SimConfig) *SimNet {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 42
+	}
+	return &SimNet{
+		cfg:      cfg,
+		handlers: map[string]Handler{},
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Register implements Network.
+func (n *SimNet) Register(site string, h Handler) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.handlers[site]; dup {
+		return fmt.Errorf("transport: site %q already registered", site)
+	}
+	n.handlers[site] = h
+	return nil
+}
+
+// Unregister implements Network.
+func (n *SimNet) Unregister(site string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.handlers, site)
+}
+
+// Call implements Network.
+func (n *SimNet) Call(site string, payload []byte) ([]byte, error) {
+	n.mu.RLock()
+	h, ok := n.handlers[site]
+	n.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: unknown site %q", site)
+	}
+	n.sleepOneWay()
+	resp, err := h(payload)
+	if err != nil {
+		return nil, err
+	}
+	n.sleepOneWay()
+	return resp, nil
+}
+
+func (n *SimNet) sleepOneWay() {
+	d := n.cfg.Latency
+	if n.cfg.Jitter > 0 {
+		n.rngMu.Lock()
+		d += time.Duration(n.rng.Int63n(int64(n.cfg.Jitter) + 1))
+		n.rngMu.Unlock()
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// CPU models one site's processing capacity: a semaphore with as many
+// slots as the machine has worker threads (the paper's single-CPU Pentium
+// boxes map to one slot). CPU-bound phases of request handling run inside
+// Do; network waits happen outside it so a blocked subquery does not
+// consume local capacity.
+type CPU struct {
+	sem chan struct{}
+}
+
+// NewCPU creates a capacity gate with the given slot count (min 1).
+func NewCPU(slots int) *CPU {
+	if slots < 1 {
+		slots = 1
+	}
+	return &CPU{sem: make(chan struct{}, slots)}
+}
+
+// Do runs fn while holding one CPU slot.
+func (c *CPU) Do(fn func()) {
+	c.sem <- struct{}{}
+	defer func() { <-c.sem }()
+	fn()
+}
+
+// Acquire takes a slot explicitly (pair with Release).
+func (c *CPU) Acquire() { c.sem <- struct{}{} }
+
+// Release returns a slot.
+func (c *CPU) Release() { <-c.sem }

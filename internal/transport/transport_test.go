@@ -1,0 +1,255 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSimNetRoundTrip(t *testing.T) {
+	n := NewSimNet(SimConfig{})
+	echo := func(p []byte) ([]byte, error) { return append([]byte("re:"), p...), nil }
+	if err := n.Register("a", echo); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := n.Call("a", []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "re:hello" {
+		t.Fatalf("resp = %q", resp)
+	}
+}
+
+func TestSimNetUnknownSite(t *testing.T) {
+	n := NewSimNet(SimConfig{})
+	if _, err := n.Call("ghost", nil); err == nil {
+		t.Fatal("unknown site should error")
+	}
+}
+
+func TestSimNetDuplicateRegister(t *testing.T) {
+	n := NewSimNet(SimConfig{})
+	h := func(p []byte) ([]byte, error) { return p, nil }
+	if err := n.Register("a", h); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register("a", h); err == nil {
+		t.Fatal("duplicate register should error")
+	}
+	n.Unregister("a")
+	if err := n.Register("a", h); err != nil {
+		t.Fatalf("re-register after unregister: %v", err)
+	}
+}
+
+func TestSimNetHandlerError(t *testing.T) {
+	n := NewSimNet(SimConfig{})
+	if err := n.Register("a", func([]byte) ([]byte, error) { return nil, errors.New("boom") }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Call("a", nil); err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSimNetLatency(t *testing.T) {
+	n := NewSimNet(SimConfig{Latency: 5 * time.Millisecond})
+	if err := n.Register("a", func(p []byte) ([]byte, error) { return p, nil }); err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	if _, err := n.Call("a", nil); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d < 10*time.Millisecond {
+		t.Fatalf("round trip took %v, want >= 2x one-way latency", d)
+	}
+}
+
+func TestSimNetConcurrent(t *testing.T) {
+	n := NewSimNet(SimConfig{Jitter: time.Microsecond})
+	var served atomic.Int64
+	if err := n.Register("a", func(p []byte) ([]byte, error) {
+		served.Add(1)
+		return p, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				msg := []byte(fmt.Sprintf("m%d-%d", i, j))
+				resp, err := n.Call("a", msg)
+				if err != nil || !bytes.Equal(resp, msg) {
+					t.Errorf("call: %v %q", err, resp)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if served.Load() != 32*50 {
+		t.Fatalf("served %d, want %d", served.Load(), 32*50)
+	}
+}
+
+func TestCPUSerializes(t *testing.T) {
+	cpu := NewCPU(1)
+	var inCritical atomic.Int32
+	var maxSeen atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cpu.Do(func() {
+				cur := inCritical.Add(1)
+				if cur > maxSeen.Load() {
+					maxSeen.Store(cur)
+				}
+				time.Sleep(time.Millisecond)
+				inCritical.Add(-1)
+			})
+		}()
+	}
+	wg.Wait()
+	if maxSeen.Load() != 1 {
+		t.Fatalf("max concurrency in 1-slot CPU = %d", maxSeen.Load())
+	}
+}
+
+func TestCPUMultipleSlots(t *testing.T) {
+	cpu := NewCPU(4)
+	var inCritical atomic.Int32
+	var maxSeen atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cpu.Acquire()
+			cur := inCritical.Add(1)
+			for {
+				m := maxSeen.Load()
+				if cur <= m || maxSeen.CompareAndSwap(m, cur) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			inCritical.Add(-1)
+			cpu.Release()
+		}()
+	}
+	wg.Wait()
+	if m := maxSeen.Load(); m > 4 {
+		t.Fatalf("max concurrency = %d, want <= 4", m)
+	}
+}
+
+func TestTCPNetRoundTrip(t *testing.T) {
+	net := NewTCPNet(map[string]string{"srv": "127.0.0.1:0"})
+	if err := net.Register("srv", func(p []byte) ([]byte, error) {
+		return append([]byte("got:"), p...), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer net.Unregister("srv")
+	// Client uses the resolved address.
+	addr, ok := net.Addr("srv")
+	if !ok {
+		t.Fatal("no bound address")
+	}
+	client := NewTCPNet(map[string]string{"srv": addr})
+	for i := 0; i < 10; i++ {
+		resp, err := client.Call("srv", []byte(fmt.Sprintf("ping%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(resp) != fmt.Sprintf("got:ping%d", i) {
+			t.Fatalf("resp = %q", resp)
+		}
+	}
+}
+
+func TestTCPNetHandlerError(t *testing.T) {
+	net := NewTCPNet(map[string]string{"srv": "127.0.0.1:0"})
+	if err := net.Register("srv", func(p []byte) ([]byte, error) {
+		return nil, errors.New("remote failure")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer net.Unregister("srv")
+	addr, _ := net.Addr("srv")
+	client := NewTCPNet(map[string]string{"srv": addr})
+	_, err := client.Call("srv", []byte("x"))
+	if err == nil {
+		t.Fatal("expected remote error")
+	}
+}
+
+func TestTCPNetUnknownSite(t *testing.T) {
+	client := NewTCPNet(nil)
+	if _, err := client.Call("nowhere", nil); err == nil {
+		t.Fatal("unknown site should error")
+	}
+}
+
+func TestTCPNetConcurrentClients(t *testing.T) {
+	net := NewTCPNet(map[string]string{"srv": "127.0.0.1:0"})
+	if err := net.Register("srv", func(p []byte) ([]byte, error) { return p, nil }); err != nil {
+		t.Fatal(err)
+	}
+	defer net.Unregister("srv")
+	addr, _ := net.Addr("srv")
+	client := NewTCPNet(map[string]string{"srv": addr})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				msg := []byte(fmt.Sprintf("%d/%d", i, j))
+				resp, err := client.Call("srv", msg)
+				if err != nil || !bytes.Equal(resp, msg) {
+					t.Errorf("call %d/%d: %v", i, j, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestFrameCodec(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("some payload with \x00 binary")
+	if err := writeFrame(&buf, 7, payload); err != nil {
+		t.Fatal(err)
+	}
+	status, got, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != 7 || !bytes.Equal(got, payload) {
+		t.Fatalf("decoded status=%d payload=%q", status, got)
+	}
+	// Oversized frame rejected.
+	var big bytes.Buffer
+	var hdr [5]byte
+	hdr[1] = 0xFF
+	hdr[2] = 0xFF
+	hdr[3] = 0xFF
+	hdr[4] = 0xFF
+	big.Write(hdr[:])
+	if _, _, err := readFrame(&big); err == nil {
+		t.Fatal("oversized frame should be rejected")
+	}
+}

@@ -1,0 +1,283 @@
+// Package workload builds the paper's Parking Space Finder database and
+// query workloads (Section 5.1): an artificially generated database of
+// parking spaces in a geographic hierarchy, query types 1-4 classified by
+// the hierarchy level their lowest common ancestor sits at, the QW-Mix and
+// QW-Mix2 mixtures, skewed variants, and sensor-update workloads.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"irisnet/internal/xmldb"
+	"irisnet/internal/xpath"
+)
+
+// DBConfig sizes the generated database. The paper's default models a
+// small part of a nationwide database: 2 cities, 3 neighborhoods per city,
+// 20 blocks per neighborhood, 20 parking spaces per block (2,400 spaces).
+// The "large database" of Figure 11 doubles neighborhoods, blocks and
+// spaces (x8 total).
+type DBConfig struct {
+	Cities        int
+	Neighborhoods int // per city
+	Blocks        int // per neighborhood
+	Spaces        int // per block
+	Seed          int64
+}
+
+// PaperSmall returns the paper's 2,400-space configuration.
+func PaperSmall() DBConfig {
+	return DBConfig{Cities: 2, Neighborhoods: 3, Blocks: 20, Spaces: 20, Seed: 7}
+}
+
+// PaperLarge returns the x8 configuration of Figure 11.
+func PaperLarge() DBConfig {
+	return DBConfig{Cities: 2, Neighborhoods: 6, Blocks: 40, Spaces: 40, Seed: 7}
+}
+
+// Root path constants of the generated hierarchy.
+const (
+	RootName = "usRegion"
+	RootID   = "NE"
+	Service  = "parking.intel-iris.net"
+)
+
+// CityName returns the id of city i.
+func CityName(i int) string { return fmt.Sprintf("City%d", i) }
+
+// NeighborhoodName returns the id of neighborhood j in any city.
+func NeighborhoodName(j int) string { return fmt.Sprintf("NBHD%d", j) }
+
+// DB is the generated database plus its derived metadata.
+type DB struct {
+	Cfg    DBConfig
+	Doc    *xmldb.Node
+	Schema *xpath.Schema
+	// SpacePaths lists every parkingSpace ID path, for update workloads.
+	SpacePaths []xmldb.IDPath
+	// BlockPaths lists every block ID path.
+	BlockPaths []xmldb.IDPath
+}
+
+// Build generates the database document.
+func Build(cfg DBConfig) *DB {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	root := xmldb.NewElem(RootName, RootID)
+	state := root.AddChild(xmldb.NewElem("state", "PA"))
+	county := state.AddChild(xmldb.NewElem("county", "Allegheny"))
+	db := &DB{Cfg: cfg, Doc: root, Schema: ParkingSchema()}
+	for c := 0; c < cfg.Cities; c++ {
+		city := county.AddChild(xmldb.NewElem("city", CityName(c)))
+		for n := 0; n < cfg.Neighborhoods; n++ {
+			nb := city.AddChild(xmldb.NewElem("neighborhood", NeighborhoodName(n)))
+			nb.SetAttr("zipcode", fmt.Sprintf("152%02d", r.Intn(100)))
+			for b := 0; b < cfg.Blocks; b++ {
+				blk := nb.AddChild(xmldb.NewElem("block", fmt.Sprintf("%d", b+1)))
+				for s := 0; s < cfg.Spaces; s++ {
+					sp := blk.AddChild(xmldb.NewElem("parkingSpace", fmt.Sprintf("%d", s+1)))
+					av := sp.AddChild(xmldb.NewNode("available"))
+					av.Text = []string{"yes", "no"}[r.Intn(2)]
+					pr := sp.AddChild(xmldb.NewNode("price"))
+					pr.Text = fmt.Sprintf("%d", 25*r.Intn(5))
+					mt := sp.AddChild(xmldb.NewNode("meter"))
+					mt.Text = []string{"1hr", "2hr", "4hr"}[r.Intn(3)]
+					p, _ := xmldb.IDPathOf(sp)
+					db.SpacePaths = append(db.SpacePaths, p)
+				}
+				p, _ := xmldb.IDPathOf(blk)
+				db.BlockPaths = append(db.BlockPaths, p)
+			}
+		}
+	}
+	return db
+}
+
+// ParkingSchema describes the parking hierarchy for query analysis.
+func ParkingSchema() *xpath.Schema {
+	return &xpath.Schema{
+		Children: map[string][]string{
+			"usRegion":     {"state"},
+			"state":        {"county"},
+			"county":       {"city"},
+			"city":         {"neighborhood"},
+			"neighborhood": {"block"},
+			"block":        {"parkingSpace"},
+			"parkingSpace": {"available", "price", "meter"},
+		},
+		IDable: map[string]bool{
+			"usRegion": true, "state": true, "county": true, "city": true,
+			"neighborhood": true, "block": true, "parkingSpace": true,
+		},
+	}
+}
+
+// prefix builds the absolute path down to a city.
+func cityPrefix(c int) string {
+	return fmt.Sprintf("/usRegion[@id='NE']/state[@id='PA']/county[@id='Allegheny']/city[@id='%s']", CityName(c))
+}
+
+// BlockQuery is a type-1 query: all available spaces of one block,
+// specifying the exact path from the root (LCA = the block's
+// neighborhood-or-block level).
+func (db *DB) BlockQuery(city, nb, block int) string {
+	return fmt.Sprintf("%s/neighborhood[@id='%s']/block[@id='%d']/parkingSpace[available='yes']",
+		cityPrefix(city), NeighborhoodName(nb), block+1)
+}
+
+// TwoBlockQuery is a type-2 query: two blocks of one neighborhood
+// (LCA = neighborhood).
+func (db *DB) TwoBlockQuery(city, nb, block1, block2 int) string {
+	return fmt.Sprintf("%s/neighborhood[@id='%s']/block[@id='%d' or @id='%d']/parkingSpace[available='yes']",
+		cityPrefix(city), NeighborhoodName(nb), block1+1, block2+1)
+}
+
+// TwoNeighborhoodQuery is a type-3 query: one block in each of two
+// neighborhoods of the same city (LCA = city), the "destination near a
+// neighborhood boundary" case.
+func (db *DB) TwoNeighborhoodQuery(city, nb1, block1, nb2, block2 int) string {
+	return fmt.Sprintf("%s/neighborhood[@id='%s']/block[@id='%d']/parkingSpace[available='yes']"+
+		" | %s/neighborhood[@id='%s']/block[@id='%d']/parkingSpace[available='yes']",
+		cityPrefix(city), NeighborhoodName(nb1), block1+1,
+		cityPrefix(city), NeighborhoodName(nb2), block2+1)
+}
+
+// TwoCityQuery is a type-4 query: one block in each of two cities
+// (LCA = county).
+func (db *DB) TwoCityQuery(city1, nb1, block1, city2, nb2, block2 int) string {
+	return fmt.Sprintf("%s/neighborhood[@id='%s']/block[@id='%d']/parkingSpace[available='yes']"+
+		" | %s/neighborhood[@id='%s']/block[@id='%d']/parkingSpace[available='yes']",
+		cityPrefix(city1), NeighborhoodName(nb1), block1+1,
+		cityPrefix(city2), NeighborhoodName(nb2), block2+1)
+}
+
+// QueryType labels the paper's four query classes.
+type QueryType int
+
+// Query types.
+const (
+	Type1 QueryType = iota + 1
+	Type2
+	Type3
+	Type4
+)
+
+// Mix is a distribution over query types.
+type Mix struct {
+	Weights [4]int // weight of types 1..4, need not sum to 100
+}
+
+// The paper's workloads.
+var (
+	// QW1..QW4 are the single-type workloads.
+	QW1 = Mix{Weights: [4]int{1, 0, 0, 0}}
+	QW2 = Mix{Weights: [4]int{0, 1, 0, 0}}
+	QW3 = Mix{Weights: [4]int{0, 0, 1, 0}}
+	QW4 = Mix{Weights: [4]int{0, 0, 0, 1}}
+	// QWMix is 40% type 1, 40% type 2, 15% type 3, 5% type 4 (Section 5.3).
+	QWMix = Mix{Weights: [4]int{40, 40, 15, 5}}
+	// QWMix2 is 50% type 1, 50% type 2 (Figure 8).
+	QWMix2 = Mix{Weights: [4]int{50, 50, 0, 0}}
+)
+
+// Gen produces random queries from a mix.
+type Gen struct {
+	db  *DB
+	mix Mix
+	rng *rand.Rand
+	// SkewNeighborhood, when >= 0, directs SkewPct percent of type-1/2
+	// queries at the given (city, neighborhood).
+	SkewCity         int
+	SkewNeighborhood int
+	SkewPct          int
+}
+
+// NewGen builds a generator. seed 0 uses 1.
+func NewGen(db *DB, mix Mix, seed int64) *Gen {
+	if seed == 0 {
+		seed = 1
+	}
+	return &Gen{db: db, mix: mix, rng: rand.New(rand.NewSource(seed)), SkewNeighborhood: -1}
+}
+
+// Skew directs pct percent of queries at one neighborhood, reproducing the
+// business-hours Downtown skew of Section 5.3/5.4.
+func (g *Gen) Skew(city, nb, pct int) {
+	g.SkewCity, g.SkewNeighborhood, g.SkewPct = city, nb, pct
+}
+
+// pickType draws a query type from the mix.
+func (g *Gen) pickType() QueryType {
+	total := 0
+	for _, w := range g.mix.Weights {
+		total += w
+	}
+	x := g.rng.Intn(total)
+	for i, w := range g.mix.Weights {
+		if x < w {
+			return QueryType(i + 1)
+		}
+		x -= w
+	}
+	return Type1
+}
+
+// cityNB picks the (city, neighborhood) pair honoring skew.
+func (g *Gen) cityNB() (int, int) {
+	if g.SkewNeighborhood >= 0 && g.rng.Intn(100) < g.SkewPct {
+		return g.SkewCity, g.SkewNeighborhood
+	}
+	return g.rng.Intn(g.db.Cfg.Cities), g.rng.Intn(g.db.Cfg.Neighborhoods)
+}
+
+// Next returns the next random query and its type.
+func (g *Gen) Next() (string, QueryType) {
+	t := g.pickType()
+	cfg := g.db.Cfg
+	switch t {
+	case Type1:
+		c, n := g.cityNB()
+		return g.db.BlockQuery(c, n, g.rng.Intn(cfg.Blocks)), t
+	case Type2:
+		c, n := g.cityNB()
+		b1 := g.rng.Intn(cfg.Blocks)
+		b2 := (b1 + 1) % cfg.Blocks
+		return g.db.TwoBlockQuery(c, n, b1, b2), t
+	case Type3:
+		c := g.rng.Intn(cfg.Cities)
+		n1 := g.rng.Intn(cfg.Neighborhoods)
+		n2 := (n1 + 1) % cfg.Neighborhoods
+		return g.db.TwoNeighborhoodQuery(c, n1, g.rng.Intn(cfg.Blocks), n2, g.rng.Intn(cfg.Blocks)), t
+	default:
+		c1 := g.rng.Intn(cfg.Cities)
+		c2 := (c1 + 1) % cfg.Cities
+		return g.db.TwoCityQuery(c1, g.rng.Intn(cfg.Neighborhoods), g.rng.Intn(cfg.Blocks),
+			c2, g.rng.Intn(cfg.Neighborhoods), g.rng.Intn(cfg.Blocks)), t
+	}
+}
+
+// NeighborhoodPath returns the ID path of a neighborhood.
+func (db *DB) NeighborhoodPath(city, nb int) xmldb.IDPath {
+	return xmldb.IDPath{
+		{Name: "usRegion", ID: "NE"},
+		{Name: "state", ID: "PA"},
+		{Name: "county", ID: "Allegheny"},
+		{Name: "city", ID: CityName(city)},
+		{Name: "neighborhood", ID: NeighborhoodName(nb)},
+	}
+}
+
+// CityPath returns the ID path of a city.
+func (db *DB) CityPath(city int) xmldb.IDPath {
+	return xmldb.IDPath{
+		{Name: "usRegion", ID: "NE"},
+		{Name: "state", ID: "PA"},
+		{Name: "county", ID: "Allegheny"},
+		{Name: "city", ID: CityName(city)},
+	}
+}
+
+// BlockPath returns the ID path of a block.
+func (db *DB) BlockPath(city, nb, block int) xmldb.IDPath {
+	return append(db.NeighborhoodPath(city, nb), xmldb.Step{Name: "block", ID: fmt.Sprintf("%d", block+1)})
+}

@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"irisnet/internal/service"
+	"irisnet/internal/xpath"
+	"irisnet/internal/xpatheval"
+)
+
+func TestBuildPaperSmall(t *testing.T) {
+	db := Build(PaperSmall())
+	if got := len(db.SpacePaths); got != 2400 {
+		t.Fatalf("spaces = %d, want 2400 (paper Section 5.1)", got)
+	}
+	if got := len(db.BlockPaths); got != 120 {
+		t.Fatalf("blocks = %d, want 120", got)
+	}
+	// Structure: usRegion/state/county/city x2.
+	cities := db.Doc.ChildNamed("state").ChildNamed("county").ChildrenNamed("city")
+	if len(cities) != 2 {
+		t.Fatalf("cities = %d", len(cities))
+	}
+	nbs := cities[0].ChildrenNamed("neighborhood")
+	if len(nbs) != 3 {
+		t.Fatalf("neighborhoods = %d", len(nbs))
+	}
+	if len(nbs[0].ChildrenNamed("block")) != 20 {
+		t.Fatal("blocks per neighborhood != 20")
+	}
+}
+
+func TestBuildPaperLargeIs8x(t *testing.T) {
+	small := Build(PaperSmall())
+	large := Build(PaperLarge())
+	if len(large.SpacePaths) != 8*len(small.SpacePaths) {
+		t.Fatalf("large = %d spaces, want 8x%d", len(large.SpacePaths), len(small.SpacePaths))
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a := Build(PaperSmall())
+	b := Build(PaperSmall())
+	if a.Doc.Canonical() != b.Doc.Canonical() {
+		t.Fatal("same seed must give the same database")
+	}
+}
+
+func TestQueriesParseAndEvaluate(t *testing.T) {
+	db := Build(DBConfig{Cities: 2, Neighborhoods: 2, Blocks: 3, Spaces: 3, Seed: 3})
+	queries := []string{
+		db.BlockQuery(0, 0, 0),
+		db.TwoBlockQuery(1, 1, 0, 2),
+		db.TwoNeighborhoodQuery(0, 0, 1, 1, 2),
+		db.TwoCityQuery(0, 0, 0, 1, 1, 2),
+	}
+	for _, q := range queries {
+		expr, err := xpath.Parse(q)
+		if err != nil {
+			t.Fatalf("generated query does not parse: %q: %v", q, err)
+		}
+		if _, err := xpatheval.Select(expr, &xpatheval.Context{Root: db.Doc}, db.Doc); err != nil {
+			t.Fatalf("generated query does not evaluate: %q: %v", q, err)
+		}
+	}
+}
+
+func TestQueryTypeLCALevels(t *testing.T) {
+	// The type definitions are about which hierarchy level the query is
+	// first routed to (Section 5.1).
+	db := Build(PaperSmall())
+	cases := []struct {
+		q        string
+		lcaSteps int // depth of LCA path: 6=block, 5=neighborhood, 4=city, 3=county
+	}{
+		{db.BlockQuery(0, 0, 0), 6},
+		{db.TwoBlockQuery(0, 0, 0, 1), 5},
+		{db.TwoNeighborhoodQuery(0, 0, 0, 1, 0), 4},
+		{db.TwoCityQuery(0, 0, 0, 1, 0, 0), 3},
+	}
+	for _, c := range cases {
+		lca, err := service.LCAPath(c.q)
+		if err != nil {
+			t.Fatalf("LCAPath(%q): %v", c.q, err)
+		}
+		if len(lca) != c.lcaSteps {
+			t.Errorf("LCA of %q has %d steps, want %d", c.q, len(lca), c.lcaSteps)
+		}
+	}
+}
+
+func TestGenMixDistribution(t *testing.T) {
+	db := Build(DBConfig{Cities: 2, Neighborhoods: 3, Blocks: 4, Spaces: 2, Seed: 3})
+	g := NewGen(db, QWMix, 42)
+	counts := map[QueryType]int{}
+	for i := 0; i < 4000; i++ {
+		_, qt := g.Next()
+		counts[qt]++
+	}
+	// 40/40/15/5 within generous tolerance.
+	if counts[Type1] < 1400 || counts[Type1] > 1800 {
+		t.Fatalf("type1 = %d of 4000", counts[Type1])
+	}
+	if counts[Type4] < 100 || counts[Type4] > 350 {
+		t.Fatalf("type4 = %d of 4000", counts[Type4])
+	}
+}
+
+func TestGenSingleTypeMixes(t *testing.T) {
+	db := Build(DBConfig{Cities: 2, Neighborhoods: 2, Blocks: 2, Spaces: 2, Seed: 3})
+	for i, mix := range []Mix{QW1, QW2, QW3, QW4} {
+		g := NewGen(db, mix, 7)
+		for j := 0; j < 50; j++ {
+			_, qt := g.Next()
+			if qt != QueryType(i+1) {
+				t.Fatalf("mix %d produced type %d", i+1, qt)
+			}
+		}
+	}
+}
+
+func TestGenSkew(t *testing.T) {
+	db := Build(DBConfig{Cities: 2, Neighborhoods: 3, Blocks: 4, Spaces: 2, Seed: 3})
+	g := NewGen(db, QW1, 13)
+	g.Skew(1, 2, 90)
+	hot := 0
+	total := 2000
+	hotNeedle := "city[@id='" + CityName(1) + "']/neighborhood[@id='" + NeighborhoodName(2) + "']"
+	for i := 0; i < total; i++ {
+		q, _ := g.Next()
+		if strings.Contains(q, hotNeedle) {
+			hot++
+		}
+	}
+	// 90% skew plus ~1/6 of the unskewed remainder also lands there.
+	if hot < total*85/100 {
+		t.Fatalf("hot neighborhood got %d of %d queries, want ~90%%", hot, total)
+	}
+}
+
+func TestGenDeterministicPerSeed(t *testing.T) {
+	db := Build(PaperSmall())
+	g1 := NewGen(db, QWMix, 5)
+	g2 := NewGen(db, QWMix, 5)
+	for i := 0; i < 20; i++ {
+		a, _ := g1.Next()
+		b, _ := g2.Next()
+		if a != b {
+			t.Fatal("same seed must generate the same stream")
+		}
+	}
+}
+
+func TestPathHelpers(t *testing.T) {
+	db := Build(PaperSmall())
+	bp := db.BlockPath(1, 2, 19)
+	if bp[len(bp)-1].ID != "20" || bp[len(bp)-1].Name != "block" {
+		t.Fatalf("BlockPath = %s", bp)
+	}
+	np := db.NeighborhoodPath(0, 0)
+	if !np.IsPrefixOf(db.BlockPath(0, 0, 0)) {
+		t.Fatal("neighborhood path should prefix its blocks")
+	}
+	cp := db.CityPath(1)
+	if !cp.IsPrefixOf(np) == (cp[3].ID == np[3].ID) {
+		t.Fatal("city prefix logic")
+	}
+}

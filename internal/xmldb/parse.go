@@ -1,0 +1,79 @@
+package xmldb
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads an XML document from r into a Node tree. Processing
+// instructions, comments and namespace declarations are ignored; character
+// data directly inside an element is accumulated into Node.Text.
+func Parse(r io.Reader) (*Node, error) {
+	dec := xml.NewDecoder(r)
+	var root *Node
+	var cur *Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmldb: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := NewNode(t.Name.Local)
+			for _, a := range t.Attr {
+				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue
+				}
+				n.SetAttr(a.Name.Local, a.Value)
+			}
+			if cur == nil {
+				if root != nil {
+					return nil, fmt.Errorf("xmldb: parse: multiple root elements")
+				}
+				root = n
+			} else {
+				cur.AddChild(n)
+			}
+			cur = n
+		case xml.EndElement:
+			if cur == nil {
+				return nil, fmt.Errorf("xmldb: parse: unbalanced end element %q", t.Name.Local)
+			}
+			cur = cur.Parent
+		case xml.CharData:
+			if cur != nil {
+				s := string(t)
+				if strings.TrimSpace(s) != "" {
+					cur.Text += strings.TrimSpace(s)
+				}
+			}
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("xmldb: parse: empty document")
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("xmldb: parse: unterminated element %q", cur.Name)
+	}
+	return root, nil
+}
+
+// ParseString parses an XML document held in a string.
+func ParseString(s string) (*Node, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// MustParse parses the document and panics on error. It is intended for
+// tests and for static documents compiled into examples.
+func MustParse(s string) *Node {
+	n, err := ParseString(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}

@@ -1,0 +1,92 @@
+package xmldb
+
+import (
+	"io"
+	"strings"
+)
+
+// String renders the subtree as compact XML (no insignificant whitespace).
+func (n *Node) String() string {
+	var sb strings.Builder
+	writeXML(&sb, n, -1, 0)
+	return sb.String()
+}
+
+// Indented renders the subtree as indented XML, two spaces per level.
+func (n *Node) Indented() string {
+	var sb strings.Builder
+	writeXML(&sb, n, 0, 0)
+	return sb.String()
+}
+
+// WriteXML writes the subtree as compact XML to w.
+func (n *Node) WriteXML(w io.Writer) error {
+	var sb strings.Builder
+	writeXML(&sb, n, -1, 0)
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func writeXML(sb *strings.Builder, n *Node, indent, depth int) {
+	pad := func() {
+		if indent >= 0 {
+			for i := 0; i < depth*2; i++ {
+				sb.WriteByte(' ')
+			}
+		}
+	}
+	nl := func() {
+		if indent >= 0 {
+			sb.WriteByte('\n')
+		}
+	}
+	pad()
+	sb.WriteByte('<')
+	sb.WriteString(n.Name)
+	for _, a := range n.Attrs {
+		sb.WriteByte(' ')
+		sb.WriteString(a.Name)
+		sb.WriteString(`="`)
+		escapeInto(sb, a.Value)
+		sb.WriteByte('"')
+	}
+	if len(n.Children) == 0 && n.Text == "" {
+		sb.WriteString("/>")
+		nl()
+		return
+	}
+	sb.WriteByte('>')
+	if n.Text != "" {
+		escapeInto(sb, n.Text)
+	}
+	if len(n.Children) > 0 {
+		nl()
+		for _, c := range n.Children {
+			writeXML(sb, c, indent, depth+1)
+		}
+		pad()
+	}
+	sb.WriteString("</")
+	sb.WriteString(n.Name)
+	sb.WriteByte('>')
+	nl()
+}
+
+func escapeInto(sb *strings.Builder, s string) {
+	for _, r := range s {
+		switch r {
+		case '&':
+			sb.WriteString("&amp;")
+		case '<':
+			sb.WriteString("&lt;")
+		case '>':
+			sb.WriteString("&gt;")
+		case '"':
+			sb.WriteString("&quot;")
+		case '\'':
+			sb.WriteString("&apos;")
+		default:
+			sb.WriteRune(r)
+		}
+	}
+}

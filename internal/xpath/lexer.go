@@ -1,0 +1,278 @@
+// Package xpath implements a lexer, parser and abstract syntax tree for the
+// unordered fragment of XPath 1.0 used by IrisNet (Section 3.1 of the
+// paper): full location paths, predicates, boolean/arithmetic/comparison
+// operators and the core function library, but no ordering-dependent
+// constructs (position(), following-sibling::, ...).
+//
+// The package also provides the query analyses the system needs: ID-path
+// prefix extraction for self-starting distributed queries, nesting-depth
+// computation, LOCAL-INFO-REQUIRED, and predicate splitting.
+package xpath
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind enumerates lexical token categories.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokSlash
+	TokDoubleSlash
+	TokLBracket
+	TokRBracket
+	TokLParen
+	TokRParen
+	TokAt
+	TokDot
+	TokDotDot
+	TokComma
+	TokPipe
+	TokPlus
+	TokMinus
+	TokStar     // wildcard node test
+	TokMultiply // arithmetic *
+	TokEq
+	TokNeq
+	TokLt
+	TokLe
+	TokGt
+	TokGe
+	TokAnd
+	TokOr
+	TokDiv
+	TokMod
+	TokAxis // name followed by ::
+	TokName
+	TokLiteral
+	TokNumber
+)
+
+// Token is one lexical token. Text holds the name, literal value or number
+// spelling as appropriate.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "<eof>"
+	case TokLiteral:
+		return fmt.Sprintf("%q", t.Text)
+	default:
+		return t.Text
+	}
+}
+
+// lexer scans an XPath expression into tokens with the XPath 1.0
+// disambiguation rules for '*' and the operator names and/or/div/mod.
+type lexer struct {
+	src  string
+	pos  int
+	prev Token // last token produced, for disambiguation
+	toks []Token
+}
+
+// Lex scans the source into a token slice, ending with a TokEOF token.
+func Lex(src string) ([]Token, error) {
+	l := &lexer{src: src, prev: Token{Kind: TokEOF}}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, tok)
+		l.prev = tok
+		if tok.Kind == TokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+// operandFollows reports whether, per the XPath 1.0 lexical rules, the next
+// '*' or name must be interpreted as an operator (true when the preceding
+// token is an operand terminator).
+func (l *lexer) operatorContext() bool {
+	switch l.prev.Kind {
+	case TokEOF, TokSlash, TokDoubleSlash, TokLBracket, TokLParen, TokComma,
+		TokPipe, TokPlus, TokMinus, TokMultiply, TokEq, TokNeq, TokLt, TokLe,
+		TokGt, TokGe, TokAnd, TokOr, TokDiv, TokMod, TokAt, TokAxis:
+		return false
+	default:
+		return true
+	}
+}
+
+func (l *lexer) next() (Token, error) {
+	for l.pos < len(l.src) && isSpace(l.src[l.pos]) {
+		l.pos++
+	}
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: start}, nil
+	}
+	c := l.src[l.pos]
+	mk := func(k TokenKind, text string) Token {
+		return Token{Kind: k, Text: text, Pos: start}
+	}
+	switch c {
+	case '/':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '/' {
+			l.pos++
+			return mk(TokDoubleSlash, "//"), nil
+		}
+		return mk(TokSlash, "/"), nil
+	case '[':
+		l.pos++
+		return mk(TokLBracket, "["), nil
+	case ']':
+		l.pos++
+		return mk(TokRBracket, "]"), nil
+	case '(':
+		l.pos++
+		return mk(TokLParen, "("), nil
+	case ')':
+		l.pos++
+		return mk(TokRParen, ")"), nil
+	case '@':
+		l.pos++
+		return mk(TokAt, "@"), nil
+	case ',':
+		l.pos++
+		return mk(TokComma, ","), nil
+	case '|':
+		l.pos++
+		return mk(TokPipe, "|"), nil
+	case '+':
+		l.pos++
+		return mk(TokPlus, "+"), nil
+	case '-':
+		l.pos++
+		return mk(TokMinus, "-"), nil
+	case '=':
+		l.pos++
+		return mk(TokEq, "="), nil
+	case '!':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return mk(TokNeq, "!="), nil
+		}
+		return Token{}, fmt.Errorf("xpath: lex: unexpected '!' at %d", l.pos)
+	case '<':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return mk(TokLe, "<="), nil
+		}
+		return mk(TokLt, "<"), nil
+	case '>':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return mk(TokGe, ">="), nil
+		}
+		return mk(TokGt, ">"), nil
+	case '*':
+		l.pos++
+		if l.operatorContext() {
+			return mk(TokMultiply, "*"), nil
+		}
+		return mk(TokStar, "*"), nil
+	case '.':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '.' {
+			l.pos += 2
+			return mk(TokDotDot, ".."), nil
+		}
+		if l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]) {
+			return l.lexNumber()
+		}
+		l.pos++
+		return mk(TokDot, "."), nil
+	case '\'', '"':
+		return l.lexLiteral(c)
+	}
+	if isDigit(c) {
+		return l.lexNumber()
+	}
+	if isNameStart(rune(c)) {
+		return l.lexName()
+	}
+	return Token{}, fmt.Errorf("xpath: lex: unexpected character %q at %d", c, l.pos)
+}
+
+func (l *lexer) lexLiteral(quote byte) (Token, error) {
+	start := l.pos
+	l.pos++
+	for l.pos < len(l.src) && l.src[l.pos] != quote {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return Token{}, fmt.Errorf("xpath: lex: unterminated literal at %d", start)
+	}
+	text := l.src[start+1 : l.pos]
+	l.pos++
+	return Token{Kind: TokLiteral, Text: text, Pos: start}, nil
+}
+
+func (l *lexer) lexNumber() (Token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '.' {
+		l.pos++
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+	}
+	return Token{Kind: TokNumber, Text: l.src[start:l.pos], Pos: start}, nil
+}
+
+func (l *lexer) lexName() (Token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && isNameChar(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	name := l.src[start:l.pos]
+	// Operator names only count as operators in operator context. The
+	// uppercase forms are accepted because the paper writes them that way
+	// (e.g. [@id='Oakland' OR @id='Shadyside']).
+	if l.operatorContext() {
+		switch name {
+		case "and", "AND":
+			return Token{Kind: TokAnd, Text: "and", Pos: start}, nil
+		case "or", "OR":
+			return Token{Kind: TokOr, Text: "or", Pos: start}, nil
+		case "div":
+			return Token{Kind: TokDiv, Text: name, Pos: start}, nil
+		case "mod":
+			return Token{Kind: TokMod, Text: name, Pos: start}, nil
+		}
+	}
+	// Axis specifier: name::
+	rest := l.src[l.pos:]
+	if strings.HasPrefix(rest, "::") {
+		l.pos += 2
+		return Token{Kind: TokAxis, Text: name, Pos: start}, nil
+	}
+	return Token{Kind: TokName, Text: name, Pos: start}, nil
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isNameStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isNameChar(r rune) bool {
+	return r == '_' || r == '-' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

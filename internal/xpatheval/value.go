@@ -1,0 +1,163 @@
+// Package xpatheval evaluates parsed XPath expressions against xmldb node
+// trees with XPath 1.0 semantics (unordered fragment). It serves two roles
+// in the reproduction: it is the centralized baseline evaluator (the role
+// Xalan plays for Xindice in the paper), and QEG uses it to evaluate step
+// predicates against local information.
+package xpatheval
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"irisnet/internal/xmldb"
+)
+
+// Value is an XPath 1.0 value: node-set, boolean, number or string.
+type Value interface{ isValue() }
+
+// NodeSet is a set of document (or synthetic attribute) nodes.
+type NodeSet []*xmldb.Node
+
+// Bool is an XPath boolean.
+type Bool bool
+
+// Number is an XPath number (IEEE 754 double).
+type Number float64
+
+// String is an XPath string.
+type String string
+
+func (NodeSet) isValue() {}
+func (Bool) isValue()    {}
+func (Number) isValue()  {}
+func (String) isValue()  {}
+
+// attrPrefix marks synthetic attribute nodes produced by the attribute
+// axis; their string-value is their Text.
+const attrPrefix = "@"
+
+// attrNode wraps an attribute as a synthetic node so node-set machinery
+// works uniformly. The node is parented to its owner element but is not in
+// the owner's child list.
+func attrNode(owner *xmldb.Node, name, value string) *xmldb.Node {
+	return &xmldb.Node{Name: attrPrefix + name, Text: value, Parent: owner}
+}
+
+// IsAttrNode reports whether n is a synthetic attribute node.
+func IsAttrNode(n *xmldb.Node) bool { return strings.HasPrefix(n.Name, attrPrefix) }
+
+// StringValue returns the XPath string-value of a node: for attribute
+// nodes their value; for elements the concatenation of all text in document
+// order within the subtree.
+func StringValue(n *xmldb.Node) string {
+	if IsAttrNode(n) {
+		return n.Text
+	}
+	var sb strings.Builder
+	n.Walk(func(x *xmldb.Node) bool {
+		sb.WriteString(x.Text)
+		return true
+	})
+	return sb.String()
+}
+
+// ToBool converts any Value to a boolean with XPath rules.
+func ToBool(v Value) bool {
+	switch x := v.(type) {
+	case Bool:
+		return bool(x)
+	case Number:
+		return x != 0 && !math.IsNaN(float64(x))
+	case String:
+		return len(x) > 0
+	case NodeSet:
+		return len(x) > 0
+	default:
+		return false
+	}
+}
+
+// ToNumber converts any Value to a number with XPath rules.
+func ToNumber(v Value) float64 {
+	switch x := v.(type) {
+	case Number:
+		return float64(x)
+	case Bool:
+		if x {
+			return 1
+		}
+		return 0
+	case String:
+		return stringToNumber(string(x))
+	case NodeSet:
+		if len(x) == 0 {
+			return math.NaN()
+		}
+		return stringToNumber(StringValue(x[0]))
+	default:
+		return math.NaN()
+	}
+}
+
+func stringToNumber(s string) float64 {
+	f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return math.NaN()
+	}
+	return f
+}
+
+// ToString converts any Value to a string with XPath rules.
+func ToString(v Value) string {
+	switch x := v.(type) {
+	case String:
+		return string(x)
+	case Bool:
+		if x {
+			return "true"
+		}
+		return "false"
+	case Number:
+		return numberToString(float64(x))
+	case NodeSet:
+		if len(x) == 0 {
+			return ""
+		}
+		return StringValue(x[0])
+	default:
+		return ""
+	}
+}
+
+func numberToString(f float64) string {
+	switch {
+	case math.IsNaN(f):
+		return "NaN"
+	case math.IsInf(f, 1):
+		return "Infinity"
+	case math.IsInf(f, -1):
+		return "-Infinity"
+	case f == math.Trunc(f) && math.Abs(f) < 1e15:
+		return strconv.FormatInt(int64(f), 10)
+	default:
+		return strconv.FormatFloat(f, 'g', -1, 64)
+	}
+}
+
+// TypeName returns a diagnostic name for a value's type.
+func TypeName(v Value) string {
+	switch v.(type) {
+	case NodeSet:
+		return "node-set"
+	case Bool:
+		return "boolean"
+	case Number:
+		return "number"
+	case String:
+		return "string"
+	default:
+		return fmt.Sprintf("%T", v)
+	}
+}
