@@ -1,0 +1,27 @@
+# Mirrors .github/workflows/ci.yml — `make ci` runs exactly what CI runs.
+
+GO ?= go
+
+.PHONY: ci build fmt vet test bench-smoke
+
+ci: build fmt vet test bench-smoke
+
+build:
+	$(GO) build ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; \
+		echo "$$out" >&2; \
+		exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test -race ./...
+
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...

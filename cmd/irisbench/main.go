@@ -8,27 +8,31 @@
 //	irisbench -exp all            # every experiment (several minutes)
 //	irisbench -exp fig7 -dur 5s   # one experiment, longer measurement
 //
-// Experiments: updates, fig7, fig8, fig9, fig10, fig11, latency, all.
+// Experiments: updates, fig7, fig8, fig9, fig10, fig11, latency, faults, all.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"irisnet/internal/cluster"
 	"irisnet/internal/metrics"
 	"irisnet/internal/sensor"
+	"irisnet/internal/transport"
 	"irisnet/internal/workload"
 )
 
 var (
-	expFlag   = flag.String("exp", "all", "experiment: updates|fig7|fig8|fig9|fig10|fig11|latency|all")
+	expFlag   = flag.String("exp", "all", "experiment: updates|fig7|fig8|fig9|fig10|fig11|latency|faults|all")
 	durFlag   = flag.Duration("dur", 3*time.Second, "measurement duration per cell")
 	clients   = flag.Int("clients", 24, "closed-loop query clients")
 	largeFlag = flag.Bool("large", false, "use the x8 database where applicable")
+	faultFlag = flag.String("faults", "drop=0.05,stallrate=0.05,stall=40ms",
+		"fault injection for -exp faults: drop=<rate>,stallrate=<rate>,stall=<dur>")
 )
 
 func main() {
@@ -41,8 +45,9 @@ func main() {
 		"fig10":   runFig10,
 		"fig11":   runFig11,
 		"latency": runLatency,
+		"faults":  runFaults,
 	}
-	order := []string{"updates", "fig7", "fig8", "fig9", "fig10", "fig11", "latency"}
+	order := []string{"updates", "fig7", "fig8", "fig9", "fig10", "fig11", "latency", "faults"}
 	if *expFlag == "all" {
 		for _, name := range order {
 			exps[name]()
@@ -382,6 +387,106 @@ func runLatency() {
 			m.name, means[0], p95s[0], means[1], p95s[1], saving)
 	}
 	fmt.Println("Paper: latency reduced 10-33% for type-3/4 and mixed workloads (LAN; more in WANs).")
+}
+
+// parseFaults decodes the -faults flag ("drop=0.05,stallrate=0.05,stall=40ms").
+func parseFaults(s string) (transport.FaultConfig, error) {
+	var cfg transport.FaultConfig
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return cfg, fmt.Errorf("bad fault spec %q (want key=value)", part)
+		}
+		switch k {
+		case "drop":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return cfg, fmt.Errorf("bad drop rate %q: %v", v, err)
+			}
+			cfg.DropRate = f
+		case "stallrate":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return cfg, fmt.Errorf("bad stall rate %q: %v", v, err)
+			}
+			cfg.StallRate = f
+		case "stall":
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return cfg, fmt.Errorf("bad stall duration %q: %v", v, err)
+			}
+			cfg.Stall = d
+		default:
+			return cfg, fmt.Errorf("unknown fault key %q (want drop|stallrate|stall)", k)
+		}
+	}
+	return cfg, nil
+}
+
+// runFaults measures the robustness layer: the QW-Mix workload on
+// architecture 4 with injected drops and stalls on every site, comparing a
+// fault-free baseline against the faulty run. Queries carry an end-to-end
+// deadline; site-to-site calls time out, retry with backoff and finally
+// yield partial answers, so the error rate stays near zero while the
+// partial-answer rate absorbs the injected faults.
+func runFaults() {
+	fc, err := parseFaults(*faultFlag)
+	fatal(err)
+	header(fmt.Sprintf("Fault tolerance — QW-Mix on Architecture 4 (drop=%.2f stallrate=%.2f stall=%v)",
+		fc.DropRate, fc.StallRate, fc.Stall))
+	fmt.Printf("%-18s %10s %10s %10s %10s %10s %10s %10s\n",
+		"", "q/sec", "mean-ms", "p95-ms", "err%", "partial%", "retries", "ddl-hits")
+	scenarios := []struct {
+		label             string
+		faulty, partition bool
+	}{
+		{"No faults", false, false},
+		{"Injected faults", true, false},
+		{"Faults+partition", true, true},
+	}
+	for _, sc := range scenarios {
+		cfg := baseCfg()
+		cfg.Seed = 7
+		cfg.CallTimeout = 150 * time.Millisecond
+		cfg.QueryTimeout = 2 * time.Second
+		c, err := cluster.New(cluster.Hierarchical, cfg)
+		fatal(err)
+		if sc.faulty {
+			for name := range c.Sites {
+				c.Net.SetFaults(name, fc)
+			}
+		}
+		if sc.partition {
+			// One neighborhood site goes dark entirely: its subtree turns
+			// into unreachable markers instead of failing the queries.
+			c.Net.Partition(cluster.NBSiteName(0, 0))
+		}
+		res := c.RunLoad(cluster.LoadOpts{
+			Clients: *clients, Duration: *durFlag, Mix: workload.QWMix,
+			HitRatio: -1,
+		})
+		var retries, ddl int64
+		for _, s := range c.Sites {
+			retries += s.Metrics.Retries.Value()
+			ddl += s.Metrics.DeadlineHits.Value()
+		}
+		issued := res.Completed + res.Errors
+		errPct := 0.0
+		if issued > 0 {
+			errPct = 100 * float64(res.Errors) / float64(issued)
+		}
+		fmt.Printf("%-18s %10.1f %10.1f %10.1f %10.2f %10.2f %10d %10d\n",
+			sc.label, res.Throughput(), ms(res.Latency.Mean()), ms(res.Latency.Quantile(0.95)),
+			errPct, 100*res.PartialRate(), retries, ddl)
+		c.Close()
+	}
+	fmt.Println("Expected shape: retries absorb drops and stalls (err% ~0, modest latency/throughput cost).")
+	fmt.Println("Partitioning a site converts spanning queries into partial answers; only queries that must")
+	fmt.Println("ENTER at the dead site hard-fail, after burning their deadline (hence the p95 spike).")
 }
 
 func fatal(err error) {

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -44,11 +45,17 @@ func main() {
 		fmt.Println(frag.Indented())
 		return
 	}
-	nodes, err := fe.Query(query)
+	ans, err := fe.QueryFull(context.Background(), query)
 	fatal(err)
-	fmt.Printf("<!-- %d result(s) -->\n", len(nodes))
-	for _, n := range nodes {
+	fmt.Printf("<!-- %d result(s) -->\n", len(ans.Nodes))
+	for _, n := range ans.Nodes {
 		fmt.Println(n.Indented())
+	}
+	if ans.Partial() {
+		fmt.Fprintln(os.Stderr, "irisquery: PARTIAL ANSWER — unreachable subtrees:")
+		for _, p := range ans.Unreachable {
+			fmt.Fprintln(os.Stderr, "  ", p)
+		}
 	}
 }
 

@@ -83,6 +83,18 @@ type Config struct {
 	DNSTTL time.Duration
 	// Clock overrides the consistency clock (nil = wall time).
 	Clock func() float64
+	// Seed feeds the simulated network's jitter and fault schedules, making
+	// fault-injection runs reproducible. Zero uses the transport default.
+	Seed int64
+	// CallTimeout bounds each site-to-site attempt; zero uses the transport
+	// default. Keep it well below QueryTimeout so a site can give up on one
+	// peer, mark it unreachable and still answer partially in time.
+	CallTimeout time.Duration
+	// QueryTimeout is the end-to-end deadline frontends put on each query;
+	// zero means none.
+	QueryTimeout time.Duration
+	// Retry shapes site and frontend retry loops (zero = defaults).
+	Retry transport.RetryPolicy
 }
 
 func (c Config) withDefaults() Config {
@@ -118,7 +130,7 @@ func New(arch Architecture, cfg Config) (*Cluster, error) {
 	c := &Cluster{
 		Arch:     arch,
 		Cfg:      cfg,
-		Net:      transport.NewSimNet(transport.SimConfig{Latency: cfg.Latency, Jitter: cfg.Jitter}),
+		Net:      transport.NewSimNet(transport.SimConfig{Latency: cfg.Latency, Jitter: cfg.Jitter, Seed: cfg.Seed}),
 		Registry: naming.NewRegistry(),
 		Sites:    map[string]*site.Site{},
 		DB:       db,
@@ -145,6 +157,8 @@ func New(arch Architecture, cfg Config) (*Cluster, error) {
 			PerNodeWork: cfg.PerNodeWork,
 			UpdateWork:  cfg.UpdateWork,
 			Clock:       cfg.Clock,
+			CallTimeout: cfg.CallTimeout,
+			Retry:       cfg.Retry,
 		}, workload.RootName, workload.RootID)
 		s.Load(stores[name], owned[name])
 		if err := s.Start(); err != nil {
@@ -178,6 +192,8 @@ func (c *Cluster) NewFrontend() *service.Frontend {
 	if c.Cfg.Clock != nil {
 		f.Clock = c.Cfg.Clock
 	}
+	f.Timeout = c.Cfg.QueryTimeout
+	f.Retry = c.Cfg.Retry
 	return f
 }
 
@@ -227,7 +243,7 @@ func BalancedSkewCluster(cfg Config, hotCity, hotNB int) (*Cluster, error) {
 	c := &Cluster{
 		Arch:     Hierarchical,
 		Cfg:      cfg,
-		Net:      transport.NewSimNet(transport.SimConfig{Latency: cfg.Latency, Jitter: cfg.Jitter}),
+		Net:      transport.NewSimNet(transport.SimConfig{Latency: cfg.Latency, Jitter: cfg.Jitter, Seed: cfg.Seed}),
 		Registry: naming.NewRegistry(),
 		Sites:    map[string]*site.Site{},
 		DB:       db,
@@ -244,6 +260,7 @@ func BalancedSkewCluster(cfg Config, hotCity, hotNB int) (*Cluster, error) {
 			CacheBypass: cfg.CacheBypass,
 			NaivePlans:  cfg.NaivePlans, CPUSlots: 1, Clock: cfg.Clock,
 			QueryWork: cfg.QueryWork, PerNodeWork: cfg.PerNodeWork, UpdateWork: cfg.UpdateWork,
+			CallTimeout: cfg.CallTimeout, Retry: cfg.Retry,
 		}, workload.RootName, workload.RootID)
 		s.Load(stores[name], owned[name])
 		if err := s.Start(); err != nil {

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -18,10 +19,21 @@ type LoadResult struct {
 	Completed int64
 	// Errors is the number of failed queries.
 	Errors int64
+	// Partials is the number of completed queries whose answer was partial
+	// (at least one subtree unreachable before the deadline).
+	Partials int64
 	// Elapsed is the measured wall time.
 	Elapsed time.Duration
 	// Latency is the per-query latency distribution.
 	Latency *metrics.Histogram
+}
+
+// PartialRate returns the fraction of completed queries that were partial.
+func (r LoadResult) PartialRate() float64 {
+	if r.Completed == 0 {
+		return 0
+	}
+	return float64(r.Partials) / float64(r.Completed)
 }
 
 // Throughput returns completed queries per second.
@@ -70,7 +82,7 @@ func (c *Cluster) RunLoad(opts LoadOpts) LoadResult {
 		opts.Seed = 99
 	}
 	res := LoadResult{Latency: metrics.NewHistogram(0)}
-	var completed, errs atomic.Int64
+	var completed, errs, partials atomic.Int64
 	var stop atomic.Bool
 	var wg sync.WaitGroup
 
@@ -85,13 +97,16 @@ func (c *Cluster) RunLoad(opts LoadOpts) LoadResult {
 			for !stop.Load() {
 				q := stream.next(id)
 				t0 := time.Now()
-				_, err := fe.Query(q)
+				ans, err := fe.QueryFull(context.Background(), q)
 				if err != nil {
 					errs.Add(1)
 					continue
 				}
 				res.Latency.Observe(time.Since(t0))
 				completed.Add(1)
+				if ans.Partial() {
+					partials.Add(1)
+				}
 			}
 		}(i)
 	}
@@ -101,6 +116,7 @@ func (c *Cluster) RunLoad(opts LoadOpts) LoadResult {
 	wg.Wait()
 	res.Completed = completed.Load()
 	res.Errors = errs.Load()
+	res.Partials = partials.Load()
 	res.Elapsed = time.Since(start)
 	return res
 }
@@ -390,7 +406,7 @@ func (c *Cluster) RunDynamicLoadBalance(opts LoadOpts, plan MigrationPlan, windo
 		return nil, LoadResult{}, fmt.Errorf("cluster: dynamic load balancing requires architecture 4")
 	}
 	tl := metrics.NewTimeline(time.Now(), window)
-	var completed, errs atomic.Int64
+	var completed, errs, partials atomic.Int64
 	var stop atomic.Bool
 	var wg sync.WaitGroup
 	res := LoadResult{Latency: metrics.NewHistogram(0)}
@@ -406,12 +422,16 @@ func (c *Cluster) RunDynamicLoadBalance(opts LoadOpts, plan MigrationPlan, windo
 			for !stop.Load() {
 				q := stream.next(id)
 				t0 := time.Now()
-				if _, err := fe.Query(q); err != nil {
+				ans, err := fe.QueryFull(context.Background(), q)
+				if err != nil {
 					errs.Add(1)
 					continue
 				}
 				res.Latency.Observe(time.Since(t0))
 				completed.Add(1)
+				if ans.Partial() {
+					partials.Add(1)
+				}
 				tl.Record(time.Now())
 			}
 		}(i)
@@ -442,6 +462,7 @@ func (c *Cluster) RunDynamicLoadBalance(opts LoadOpts, plan MigrationPlan, windo
 	wg.Wait()
 	res.Completed = completed.Load()
 	res.Errors = errs.Load()
+	res.Partials = partials.Load()
 	res.Elapsed = time.Since(start)
 	return tl, res, migErr
 }

@@ -5,6 +5,7 @@
 package deploy
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -131,7 +132,7 @@ type registryMsg struct {
 // function.
 func ServeRegistry(t *Topology, net *transport.TCPNet) (*naming.Registry, func(), error) {
 	reg := naming.NewRegistry()
-	h := func(payload []byte) ([]byte, error) {
+	h := func(_ context.Context, payload []byte) ([]byte, error) {
 		var m registryMsg
 		if err := json.Unmarshal(payload, &m); err != nil {
 			return nil, err

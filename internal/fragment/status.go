@@ -15,8 +15,15 @@ import (
 type Status int
 
 const (
+	// StatusUnreachable marks a placeholder for a subtree whose owner could
+	// not be reached before the query's deadline (partial answers): the
+	// node's ID is known, nothing else is, and the data is known-missing
+	// rather than merely not-fetched. It never appears in site stores, only
+	// in answer fragments. It ranks below every storage status so the
+	// ordered HasLocalIDInfo comparison stays valid.
+	StatusUnreachable Status = iota - 1
 	// StatusIncomplete: only the node's ID is stored.
-	StatusIncomplete Status = iota
+	StatusIncomplete
 	// StatusIDComplete: the node's local ID information (its ID and the
 	// IDs of its IDable children) is stored, and so is the local ID
 	// information of every ancestor, but not all local information.
@@ -30,13 +37,15 @@ const (
 )
 
 var statusNames = map[Status]string{
-	StatusIncomplete: "incomplete",
-	StatusIDComplete: "id-complete",
-	StatusComplete:   "complete",
-	StatusOwned:      "owned",
+	StatusUnreachable: "unreachable",
+	StatusIncomplete:  "incomplete",
+	StatusIDComplete:  "id-complete",
+	StatusComplete:    "complete",
+	StatusOwned:       "owned",
 }
 
 var statusByName = map[string]Status{
+	"unreachable": StatusUnreachable,
 	"incomplete":  StatusIncomplete,
 	"id-complete": StatusIDComplete,
 	"complete":    StatusComplete,

@@ -176,6 +176,63 @@ func (s *Store) EnsureAncestors(ref *xmldb.Node, p xmldb.IDPath) error {
 	return nil
 }
 
+// MarkUnreachable records in an answer store that the subtree at p could
+// not be fetched before the query gave up (owner dead, partitioned, or past
+// the deadline). The marker is a placeholder with status "unreachable" that
+// extraction skips by default; it never overwrites data the store already
+// holds. When an ancestor on the way to p is absent or itself a bare stub,
+// the mark is placed at that higher point instead — the whole gap is
+// unreachable, and placing a child under an incomplete node would violate
+// the fragment conditions.
+func (s *Store) MarkUnreachable(p xmldb.IDPath) error {
+	if len(p) == 0 {
+		return fmt.Errorf("fragment: empty id path")
+	}
+	cur := s.Root
+	if cur.Name != p[0].Name || (p[0].ID != "" && cur.ID() != "" && cur.ID() != p[0].ID) {
+		return fmt.Errorf("fragment: path %s does not match store root %s[@id=%q]",
+			p, cur.Name, cur.ID())
+	}
+	for _, st := range p[1:] {
+		next := cur.Child(st.Name, st.ID)
+		if next == nil {
+			switch StatusOf(cur) {
+			case StatusUnreachable:
+				return nil // already marked higher up
+			case StatusIncomplete:
+				if len(cur.Children) == 0 {
+					SetStatus(cur, StatusUnreachable)
+					return nil
+				}
+			}
+			next = cur.AddChild(xmldb.NewElem(st.Name, st.ID))
+			SetStatus(next, StatusUnreachable)
+			return nil
+		}
+		cur = next
+	}
+	if st := StatusOf(cur); (st == StatusIncomplete || st == StatusUnreachable) && len(cur.Children) == 0 {
+		SetStatus(cur, StatusUnreachable)
+	}
+	return nil
+}
+
+// UnreachablePaths returns the ID paths of every unreachable-marked node in
+// the store, in document order (the affected subtrees of a partial answer).
+func (s *Store) UnreachablePaths() []xmldb.IDPath {
+	var out []xmldb.IDPath
+	s.Root.Walk(func(n *xmldb.Node) bool {
+		if StatusOf(n) == StatusUnreachable {
+			if p, ok := xmldb.IDPathOf(n); ok {
+				out = append(out, p)
+			}
+			return false // nothing meaningful below a placeholder
+		}
+		return true
+	})
+	return out
+}
+
 // MergeFragment merges an incoming fragment (an answer or cache-fill
 // produced by another site) into the store. The fragment must be rooted at
 // the document root and satisfy the cache conditions C1 and C2; every
@@ -286,8 +343,8 @@ func ValidateFragment(frag *xmldb.Node) error {
 		if depth > 0 && st.HasLocalIDInfo() && !parentStatus.HasLocalIDInfo() {
 			return fmt.Errorf("fragment: C2 violation: <%s id=%q> has local (ID) info but parent lacks local ID info", n.Name, n.ID())
 		}
-		if st == StatusIncomplete && len(n.Children) > 0 {
-			return fmt.Errorf("fragment: incomplete <%s id=%q> must not have children", n.Name, n.ID())
+		if (st == StatusIncomplete || st == StatusUnreachable) && len(n.Children) > 0 {
+			return fmt.Errorf("fragment: %v <%s id=%q> must not have children", st, n.Name, n.ID())
 		}
 		if st == StatusIDComplete {
 			for _, c := range n.Children {

@@ -1,0 +1,193 @@
+package fragment
+
+import (
+	"testing"
+
+	"irisnet/internal/xmldb"
+)
+
+const blockOnePath = oaklandPath + "/block[@id='1']"
+
+// idCompleteSkeleton is a fragment holding local ID info down to Oakland's
+// blocks, with the blocks themselves still incomplete stubs.
+func idCompleteSkeleton(t *testing.T) *Store {
+	t.Helper()
+	s := NewStore("usRegion", "NE")
+	frag := xmldb.MustParse(`<usRegion id="NE" status="id-complete">` +
+		`<state id="PA" status="id-complete">` +
+		`<county id="Allegheny" status="id-complete">` +
+		`<city id="Pittsburgh" status="id-complete">` +
+		`<neighborhood id="Oakland" status="id-complete">` +
+		`<block id="1" status="incomplete"/>` +
+		`<block id="2" status="incomplete"/>` +
+		`</neighborhood></city></county></state></usRegion>`)
+	if err := s.MergeFragment(frag); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestMarkUnreachableAtExistingStub(t *testing.T) {
+	s := idCompleteSkeleton(t)
+	p := path(t, blockOnePath)
+	if err := s.MarkUnreachable(p); err != nil {
+		t.Fatal(err)
+	}
+	n := s.NodeAt(p)
+	if n == nil || StatusOf(n) != StatusUnreachable {
+		t.Fatalf("block 1 status = %v, want unreachable", StatusOf(n))
+	}
+	got := s.UnreachablePaths()
+	if len(got) != 1 || got[0].Key() != p.Key() {
+		t.Fatalf("UnreachablePaths = %v, want [%s]", got, p)
+	}
+	// The marked store must still be a valid fragment (answers are merged
+	// downstream and re-validated there).
+	if err := ValidateFragment(s.Root); err != nil {
+		t.Fatalf("marked store is not a valid fragment: %v", err)
+	}
+}
+
+func TestMarkUnreachableBelowIncompleteMarksHigher(t *testing.T) {
+	// The target's ancestor chain stops at an incomplete childless stub:
+	// the whole gap is unknown, so the mark lands on the stub rather than
+	// inventing children under an incomplete node (condition C1/C2).
+	s := idCompleteSkeleton(t)
+	deep := path(t, blockOnePath+"/parkingSpace[@id='1']")
+	if err := s.MarkUnreachable(deep); err != nil {
+		t.Fatal(err)
+	}
+	blk := s.NodeAt(path(t, blockOnePath))
+	if StatusOf(blk) != StatusUnreachable {
+		t.Fatalf("block status = %v, want the mark hoisted to the stub", StatusOf(blk))
+	}
+	if len(blk.Children) != 0 {
+		t.Fatalf("unreachable stub grew children: %v", blk.Children)
+	}
+	if err := ValidateFragment(s.Root); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarkUnreachableCreatesMissingChildStub(t *testing.T) {
+	// Oakland has local ID info (id-complete), so a missing subtree below
+	// it gets a fresh placeholder child.
+	s := idCompleteSkeleton(t)
+	oak := s.NodeAt(path(t, oaklandPath))
+	oak.RemoveChild(oak.Child("block", "1"))
+	if err := s.MarkUnreachable(path(t, blockOnePath)); err != nil {
+		t.Fatal(err)
+	}
+	n := s.NodeAt(path(t, blockOnePath))
+	if n == nil || StatusOf(n) != StatusUnreachable {
+		t.Fatalf("missing child not marked: %v", n)
+	}
+}
+
+func TestMarkUnreachableIdempotentAndNested(t *testing.T) {
+	s := idCompleteSkeleton(t)
+	p := path(t, blockOnePath)
+	if err := s.MarkUnreachable(p); err != nil {
+		t.Fatal(err)
+	}
+	// Marking again, and marking anything beneath the marker, must be
+	// no-ops: one marker covers the whole subtree.
+	if err := s.MarkUnreachable(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkUnreachable(path(t, blockOnePath+"/parkingSpace[@id='2']")); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.UnreachablePaths(); len(got) != 1 {
+		t.Fatalf("UnreachablePaths = %v, want a single marker", got)
+	}
+}
+
+func TestMarkUnreachableNeverOverwritesData(t *testing.T) {
+	s := idCompleteSkeleton(t)
+	frag := xmldb.MustParse(`<usRegion id="NE" status="id-complete">` +
+		`<state id="PA" status="id-complete">` +
+		`<county id="Allegheny" status="id-complete">` +
+		`<city id="Pittsburgh" status="id-complete">` +
+		`<neighborhood id="Oakland" status="id-complete">` +
+		`<block id="1" status="complete">` +
+		`<parkingSpace id="1" status="complete"><available>yes</available></parkingSpace>` +
+		`</block></neighborhood></city></county></state></usRegion>`)
+	if err := s.MergeFragment(frag); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkUnreachable(path(t, blockOnePath)); err != nil {
+		t.Fatal(err)
+	}
+	blk := s.NodeAt(path(t, blockOnePath))
+	if StatusOf(blk) != StatusComplete {
+		t.Fatalf("cached data demoted to %v by MarkUnreachable", StatusOf(blk))
+	}
+	if len(s.UnreachablePaths()) != 0 {
+		t.Fatalf("unexpected markers: %v", s.UnreachablePaths())
+	}
+}
+
+func TestMergeUpgradesUnreachableWhenDataArrives(t *testing.T) {
+	// Recovery: a later answer that actually holds the subtree replaces the
+	// placeholder.
+	s := idCompleteSkeleton(t)
+	if err := s.MarkUnreachable(path(t, blockOnePath)); err != nil {
+		t.Fatal(err)
+	}
+	frag := xmldb.MustParse(`<usRegion id="NE" status="id-complete">` +
+		`<state id="PA" status="id-complete">` +
+		`<county id="Allegheny" status="id-complete">` +
+		`<city id="Pittsburgh" status="id-complete">` +
+		`<neighborhood id="Oakland" status="id-complete">` +
+		`<block id="1" status="complete">` +
+		`<parkingSpace id="1" status="complete"><available>yes</available></parkingSpace>` +
+		`</block></neighborhood></city></county></state></usRegion>`)
+	if err := s.MergeFragment(frag); err != nil {
+		t.Fatal(err)
+	}
+	blk := s.NodeAt(path(t, blockOnePath))
+	if StatusOf(blk) != StatusComplete {
+		t.Fatalf("block status = %v after recovery merge, want complete", StatusOf(blk))
+	}
+	if len(s.UnreachablePaths()) != 0 {
+		t.Fatalf("marker survived recovery: %v", s.UnreachablePaths())
+	}
+}
+
+func TestMergeNeverImportsUnreachableMarkers(t *testing.T) {
+	// Markers describe one answer's blind spots, not facts about the world;
+	// they must not leak into another site's cache through a merge.
+	s := idCompleteSkeleton(t)
+	frag := xmldb.MustParse(`<usRegion id="NE" status="id-complete">` +
+		`<state id="PA" status="id-complete">` +
+		`<county id="Allegheny" status="id-complete">` +
+		`<city id="Pittsburgh" status="id-complete">` +
+		`<neighborhood id="Oakland" status="id-complete">` +
+		`<block id="1" status="unreachable"/>` +
+		`<block id="2" status="incomplete"/>` +
+		`</neighborhood></city></county></state></usRegion>`)
+	if err := s.MergeFragment(frag); err != nil {
+		t.Fatal(err)
+	}
+	blk := s.NodeAt(path(t, blockOnePath))
+	if StatusOf(blk) == StatusUnreachable {
+		t.Fatal("unreachable marker merged into a store")
+	}
+	if len(s.UnreachablePaths()) != 0 {
+		t.Fatalf("markers leaked through merge: %v", s.UnreachablePaths())
+	}
+}
+
+func TestUnreachableStatusRoundTrips(t *testing.T) {
+	if StatusUnreachable.String() != "unreachable" {
+		t.Fatalf("String() = %q", StatusUnreachable.String())
+	}
+	st, err := ParseStatus("unreachable")
+	if err != nil || st != StatusUnreachable {
+		t.Fatalf("ParseStatus = %v, %v", st, err)
+	}
+	if StatusUnreachable.HasLocalIDInfo() || StatusUnreachable.HasLocalInfo() {
+		t.Fatal("unreachable must rank below id-complete")
+	}
+}

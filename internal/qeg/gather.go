@@ -1,6 +1,7 @@
 package qeg
 
 import (
+	"context"
 	"fmt"
 
 	"irisnet/internal/fragment"
@@ -12,7 +13,9 @@ import (
 // Fetcher resolves one subquery against the rest of the system (the site
 // layer implements it by routing to the target's owner) and returns the
 // remote answer fragment, rooted at the document root with status tags.
-type Fetcher func(Subquery) (*xmldb.Node, error)
+// The context carries the query's remaining deadline; fetchers must give
+// up once it expires.
+type Fetcher func(ctx context.Context, sq Subquery) (*xmldb.Node, error)
 
 // maxGatherRounds bounds the evaluate/fetch fixpoint for nested queries; in
 // practice two or three rounds suffice, the bound only guards against
@@ -24,12 +27,15 @@ const maxGatherRounds = 64
 // the missing parts via subqueries, and splice everything into one C1/C2
 // answer fragment. The local store is never mutated; caching is the
 // caller's decision (it sees every fetched fragment through its Fetcher).
-func Gather(store *fragment.Store, plans []*Plan, fetch Fetcher, opts Options) (*xmldb.Node, error) {
+func Gather(ctx context.Context, store *fragment.Store, plans []*Plan, fetch Fetcher, opts Options) (*xmldb.Node, error) {
 	ans := fragment.NewStore(store.Root.Name, store.Root.ID())
 	seen := map[string]bool{}
 	for _, plan := range plans {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if plan.NestedIdx >= 0 {
-			if err := gatherNested(store, plan, fetch, opts, ans, seen); err != nil {
+			if err := gatherNested(ctx, store, plan, fetch, opts, ans, seen); err != nil {
 				return nil, err
 			}
 			continue
@@ -46,7 +52,7 @@ func Gather(store *fragment.Store, plans []*Plan, fetch Fetcher, opts Options) (
 				continue
 			}
 			seen[sq.Key()] = true
-			sub, err := fetch(sq)
+			sub, err := fetch(ctx, sq)
 			if err != nil {
 				return nil, fmt.Errorf("qeg: subquery %s at %s: %w", sq.Query, sq.Target, err)
 			}
@@ -62,9 +68,12 @@ func Gather(store *fragment.Store, plans []*Plan, fetch Fetcher, opts Options) (
 // must be assembled before the nested predicates can be evaluated, so the
 // loop iterates evaluate -> fetch -> merge on a working copy of the store
 // until no new subqueries appear (Section 4).
-func gatherNested(store *fragment.Store, plan *Plan, fetch Fetcher, opts Options, ans *fragment.Store, seen map[string]bool) error {
+func gatherNested(ctx context.Context, store *fragment.Store, plan *Plan, fetch Fetcher, opts Options, ans *fragment.Store, seen map[string]bool) error {
 	work := store.Clone()
 	for round := 0; round < maxGatherRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		res, err := Evaluate(work, plan, opts)
 		if err != nil {
 			return err
@@ -80,7 +89,7 @@ func gatherNested(store *fragment.Store, plan *Plan, fetch Fetcher, opts Options
 			return ans.MergeFragment(res.Fragment)
 		}
 		for _, sq := range fresh {
-			sub, err := fetch(sq)
+			sub, err := fetch(ctx, sq)
 			if err != nil {
 				return fmt.Errorf("qeg: nested subquery %s at %s: %w", sq.Query, sq.Target, err)
 			}
@@ -141,22 +150,41 @@ func commonIDPrefix(a, b xmldb.IDPath) xmldb.IDPath {
 	return a[:i].Clone()
 }
 
+// ExtractOptions tunes ExtractAnswerFull.
+type ExtractOptions struct {
+	// ReportUnreachable includes selected nodes that are unreachable
+	// placeholders in the returned node set, with their status="unreachable"
+	// attribute retained so callers can tell data from markers. By default
+	// such stubs are skipped like any other placeholder.
+	ReportUnreachable bool
+}
+
 // ExtractAnswer runs the original user query against an assembled answer
 // fragment and returns clean copies of the selected subtrees (status tags
 // stripped). Consistency predicates are removed first: the fragment already
 // reflects the freshness decisions QEG made, and the paper's owner-side
 // semantics ("return the freshest data even if older than the tolerance")
-// must not be re-filtered away.
+// must not be re-filtered away. Unreachable placeholders (partial answers)
+// are skipped; use ExtractAnswerFull to see them.
 func ExtractAnswer(fragRoot *xmldb.Node, query string, now func() float64) ([]*xmldb.Node, error) {
+	nodes, _, err := ExtractAnswerFull(fragRoot, query, now, ExtractOptions{})
+	return nodes, err
+}
+
+// ExtractAnswerFull is ExtractAnswer plus partial-answer reporting: the
+// second return value lists the ID paths of every unreachable-marked
+// subtree in the fragment, and opts controls whether unreachable stubs
+// matching the selection are surfaced as nodes.
+func ExtractAnswerFull(fragRoot *xmldb.Node, query string, now func() float64, opts ExtractOptions) ([]*xmldb.Node, []string, error) {
 	expr, err := xpath.Parse(query)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	expr = xpath.StripConsistency(expr)
 	ctx := &xpatheval.Context{Root: fragRoot, Now: now}
 	ns, err := xpatheval.Select(expr, ctx, fragRoot)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	out := make([]*xmldb.Node, 0, len(ns))
 	for _, n := range ns {
@@ -167,15 +195,24 @@ func ExtractAnswer(fragRoot *xmldb.Node, query string, now func() float64) ([]*x
 			out = append(out, n.Clone())
 			continue
 		}
-		// Placeholder stubs (incomplete/id-complete) are bookkeeping, not
-		// data: a predicate that vacuously passes on a stub (e.g. a not()
-		// over missing children) must not surface the stub as an answer.
-		// Genuine answer nodes always carry full local information in the
-		// assembled fragment, by construction of the gather phase.
+		if opts.ReportUnreachable && fragment.StatusOf(n) == fragment.StatusUnreachable {
+			out = append(out, n.Clone())
+			continue
+		}
+		// Placeholder stubs (incomplete/id-complete/unreachable) are
+		// bookkeeping, not data: a predicate that vacuously passes on a stub
+		// (e.g. a not() over missing children) must not surface the stub as
+		// an answer. Genuine answer nodes always carry full local
+		// information in the assembled fragment, by construction of the
+		// gather phase.
 		if !fragment.EffectiveStatus(n).HasLocalInfo() {
 			continue
 		}
 		out = append(out, fragment.StripInternal(n))
 	}
-	return out, nil
+	var unreachable []string
+	for _, p := range (&fragment.Store{Root: fragRoot}).UnreachablePaths() {
+		unreachable = append(unreachable, p.String())
+	}
+	return out, unreachable, nil
 }

@@ -1,6 +1,7 @@
 package qeg
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -184,10 +185,10 @@ func TestSubtreeQueryEscapesQuotes(t *testing.T) {
 func TestGatherPropagatesFetchErrors(t *testing.T) {
 	stores, _ := hierarchicalStores(t)
 	plans, _ := CompileQuery(figure2Query, parkingSchema())
-	failing := func(sq Subquery) (*xmldb.Node, error) {
+	failing := func(ctx context.Context, sq Subquery) (*xmldb.Node, error) {
 		return nil, errFetch
 	}
-	if _, err := Gather(stores["city-site"], plans, failing, Options{}); err == nil {
+	if _, err := Gather(context.Background(), stores["city-site"], plans, failing, Options{}); err == nil {
 		t.Fatal("fetch errors must propagate")
 	}
 }
@@ -201,11 +202,11 @@ func (*fetchError) Error() string { return "injected fetch failure" }
 func TestGatherMalformedSubAnswer(t *testing.T) {
 	stores, _ := hierarchicalStores(t)
 	plans, _ := CompileQuery(figure2Query, parkingSchema())
-	malformed := func(sq Subquery) (*xmldb.Node, error) {
+	malformed := func(ctx context.Context, sq Subquery) (*xmldb.Node, error) {
 		// A fragment violating C2: complete child under incomplete parent.
 		return xmldb.MustParse(`<usRegion id="NE" status="incomplete"><state id="PA" status="complete"/></usRegion>`), nil
 	}
-	if _, err := Gather(stores["city-site"], plans, malformed, Options{}); err == nil {
+	if _, err := Gather(context.Background(), stores["city-site"], plans, malformed, Options{}); err == nil {
 		t.Fatal("invalid subanswers must be rejected")
 	}
 }

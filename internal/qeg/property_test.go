@@ -1,6 +1,7 @@
 package qeg
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -110,15 +111,15 @@ func runDistributed(t testing.TB, stores map[string]*fragment.Store, a *fragment
 		return nil, err
 	}
 	var fetch Fetcher
-	fetch = func(sq Subquery) (*xmldb.Node, error) {
+	fetch = func(ctx context.Context, sq Subquery) (*xmldb.Node, error) {
 		owner := a.OwnerOf(sq.Target)
 		p2, err := CompileQuery(sq.Query, schema)
 		if err != nil {
 			return nil, err
 		}
-		return Gather(stores[owner], p2, fetch, Options{})
+		return Gather(ctx, stores[owner], p2, fetch, Options{})
 	}
-	frag, err := Gather(stores[entry], plans, fetch, Options{})
+	frag, err := Gather(context.Background(), stores[entry], plans, fetch, Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -195,14 +196,14 @@ func TestPropertyCachingPreservesCorrectness(t *testing.T) {
 				return false
 			}
 			var fetch Fetcher
-			fetch = func(sq Subquery) (*xmldb.Node, error) {
+			fetch = func(ctx context.Context, sq Subquery) (*xmldb.Node, error) {
 				p2, err := CompileQuery(sq.Query, schema)
 				if err != nil {
 					return nil, err
 				}
-				return Gather(stores[a.OwnerOf(sq.Target)], p2, fetch, Options{})
+				return Gather(ctx, stores[a.OwnerOf(sq.Target)], p2, fetch, Options{})
 			}
-			frag, err := Gather(stores[entry], plans, fetch, Options{})
+			frag, err := Gather(context.Background(), stores[entry], plans, fetch, Options{})
 			if err != nil {
 				t.Logf("seed %d warm %q: %v", seed, q, err)
 				return false
@@ -258,14 +259,14 @@ func TestPropertyAnswersAreValidFragments(t *testing.T) {
 				return false
 			}
 			var fetch Fetcher
-			fetch = func(sq Subquery) (*xmldb.Node, error) {
+			fetch = func(ctx context.Context, sq Subquery) (*xmldb.Node, error) {
 				p2, err := CompileQuery(sq.Query, schema)
 				if err != nil {
 					return nil, err
 				}
-				return Gather(stores[a.OwnerOf(sq.Target)], p2, fetch, Options{})
+				return Gather(ctx, stores[a.OwnerOf(sq.Target)], p2, fetch, Options{})
 			}
-			frag, err := Gather(stores[entry], plans, fetch, Options{})
+			frag, err := Gather(context.Background(), stores[entry], plans, fetch, Options{})
 			if err != nil {
 				return false
 			}

@@ -1,6 +1,7 @@
 package qeg
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"testing"
@@ -114,7 +115,7 @@ func hierarchicalStores(t testing.TB) (map[string]*fragment.Store, *fragment.Ass
 // the owners' stores — the same loop the site layer runs over the network.
 func resolver(t testing.TB, stores map[string]*fragment.Store, a *fragment.Assignment, schema *xpath.Schema, hops *int) Fetcher {
 	var fetch Fetcher
-	fetch = func(sq Subquery) (*xmldb.Node, error) {
+	fetch = func(ctx context.Context, sq Subquery) (*xmldb.Node, error) {
 		if hops != nil {
 			*hops++
 		}
@@ -124,7 +125,7 @@ func resolver(t testing.TB, stores map[string]*fragment.Store, a *fragment.Assig
 		if err != nil {
 			return nil, err
 		}
-		return Gather(store, plans, fetch, Options{})
+		return Gather(ctx, store, plans, fetch, Options{})
 	}
 	return fetch
 }
@@ -160,7 +161,7 @@ func distributed(t testing.TB, stores map[string]*fragment.Store, a *fragment.As
 	if err != nil {
 		t.Fatalf("compile %q: %v", query, err)
 	}
-	frag, err := Gather(stores[entry], plans, resolver(t, stores, a, schema, nil), Options{})
+	frag, err := Gather(context.Background(), stores[entry], plans, resolver(t, stores, a, schema, nil), Options{})
 	if err != nil {
 		t.Fatalf("gather %q at %s: %v", query, entry, err)
 	}
@@ -359,7 +360,7 @@ func TestGatherHopCount(t *testing.T) {
 	count := func(entry string) int {
 		hops := 0
 		plans, _ := CompileQuery(figure2Query, schema)
-		if _, err := Gather(stores[entry], plans, resolver(t, stores, a, schema, &hops), Options{}); err != nil {
+		if _, err := Gather(context.Background(), stores[entry], plans, resolver(t, stores, a, schema, &hops), Options{}); err != nil {
 			t.Fatal(err)
 		}
 		return hops
@@ -381,7 +382,7 @@ func TestPartialMatchCaching(t *testing.T) {
 
 	warm := pittsburghPath + "/neighborhood[@id='Oakland']/block[@id='1']/parkingSpace[available='yes']"
 	plans, _ := CompileQuery(warm, schema)
-	frag, err := Gather(citySite, plans, resolver(t, stores, a, schema, nil), Options{})
+	frag, err := Gather(context.Background(), citySite, plans, resolver(t, stores, a, schema, nil), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -418,7 +419,7 @@ func TestSubsumption(t *testing.T) {
 	for _, nb := range []string{"Oakland", "Shadyside", "Etna"} {
 		q := pittsburghPath + "/neighborhood[@id='" + nb + "']"
 		plans, _ := CompileQuery(q, schema)
-		frag, err := Gather(citySite, plans, resolver(t, stores, a, schema, nil), Options{})
+		frag, err := Gather(context.Background(), citySite, plans, resolver(t, stores, a, schema, nil), Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -454,7 +455,7 @@ func TestConsistencyPredicates(t *testing.T) {
 	fragment.SetTimestamp(oakNode, 100)
 	warm := pittsburghPath + "/neighborhood[@id='Oakland']"
 	plans, _ := CompileQuery(warm, schema)
-	frag, err := Gather(citySite, plans, resolver(t, stores, a, schema, nil), Options{})
+	frag, err := Gather(context.Background(), citySite, plans, resolver(t, stores, a, schema, nil), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -610,7 +611,7 @@ func TestGatherResultIsValidFragment(t *testing.T) {
 	stores, a := hierarchicalStores(t)
 	schema := parkingSchema()
 	plans, _ := CompileQuery(figure2Query, schema)
-	frag, err := Gather(stores["root-site"], plans, resolver(t, stores, a, schema, nil), Options{})
+	frag, err := Gather(context.Background(), stores["root-site"], plans, resolver(t, stores, a, schema, nil), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

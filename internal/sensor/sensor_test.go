@@ -1,6 +1,7 @@
 package sensor
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
@@ -28,7 +29,7 @@ func targetPaths(t *testing.T, n int) []xmldb.IDPath {
 // fakeOA accepts update messages and counts them.
 func fakeOA(t *testing.T, net *transport.SimNet, name string, count *atomic.Int64, fail bool) {
 	t.Helper()
-	err := net.Register(name, func(p []byte) ([]byte, error) {
+	err := net.Register(name, func(_ context.Context, p []byte) ([]byte, error) {
 		msg, err := site.DecodeMessage(p)
 		if err != nil {
 			return nil, err

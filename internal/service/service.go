@@ -6,7 +6,9 @@
 package service
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"irisnet/internal/naming"
@@ -29,7 +31,28 @@ type Frontend struct {
 	// bypassing self-starting (used by the architecture-comparison and
 	// micro-benchmark experiments that pin the entry point).
 	ForceEntry string
+	// Timeout is the end-to-end deadline applied to queries and updates
+	// whose context does not already carry one. Zero means no deadline.
+	Timeout time.Duration
+	// Retry shapes the retry loop around the entry-site call; the zero
+	// value uses the transport defaults.
+	Retry transport.RetryPolicy
+
+	callOnce sync.Once
+	call     *transport.Caller
 }
+
+// Answer is a query result: the selected subtrees plus the ID paths of any
+// subtrees the system could not reach before the deadline (partial answer).
+type Answer struct {
+	Nodes []*xmldb.Node
+	// Unreachable is empty for a complete answer. Paths come from both the
+	// entry site's report and unreachable markers in the fragment itself.
+	Unreachable []string
+}
+
+// Partial reports whether any subtree was unreachable.
+func (a *Answer) Partial() bool { return len(a.Unreachable) > 0 }
 
 // NewFrontend builds a frontend.
 func NewFrontend(net transport.Network, dns *naming.Client) *Frontend {
@@ -40,6 +63,28 @@ func NewFrontend(net transport.Network, dns *naming.Client) *Frontend {
 			return float64(time.Now().UnixNano()) / 1e9
 		},
 	}
+}
+
+// caller lazily builds the resilient caller so zero-value Frontends (tests
+// construct them literally) still retry.
+func (f *Frontend) caller() *transport.Caller {
+	f.callOnce.Do(func() {
+		f.call = &transport.Caller{
+			Net:    f.Net,
+			Policy: f.Retry,
+			Budget: transport.NewRetryBudget(0, 0),
+		}
+	})
+	return f.call
+}
+
+// withDeadline applies the frontend's default timeout when the caller's
+// context does not already have one.
+func (f *Frontend) withDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	if _, ok := ctx.Deadline(); !ok && f.Timeout > 0 {
+		return context.WithTimeout(ctx, f.Timeout)
+	}
+	return ctx, func() {}
 }
 
 // RouteOf returns the site a query would be sent to, without sending it:
@@ -60,35 +105,90 @@ func (f *Frontend) RouteOf(query string) (string, xmldb.IDPath, error) {
 }
 
 // Query runs the query end to end and returns the selected subtrees with
-// internal bookkeeping stripped.
+// internal bookkeeping stripped. Unreachable placeholders are skipped; use
+// QueryFull to see which subtrees a partial answer is missing.
 func (f *Frontend) Query(query string) ([]*xmldb.Node, error) {
-	frag, err := f.QueryFragment(query)
+	return f.QueryContext(context.Background(), query)
+}
+
+// QueryContext is Query with a caller-supplied context/deadline.
+func (f *Frontend) QueryContext(ctx context.Context, query string) ([]*xmldb.Node, error) {
+	ans, err := f.QueryFull(ctx, query)
 	if err != nil {
 		return nil, err
 	}
-	return qeg.ExtractAnswer(frag, query, f.Clock)
+	return ans.Nodes, nil
+}
+
+// QueryFull runs the query end to end and reports partial-answer
+// information alongside the selected subtrees.
+func (f *Frontend) QueryFull(ctx context.Context, query string) (*Answer, error) {
+	frag, reported, err := f.queryFragment(ctx, query)
+	if err != nil {
+		return nil, err
+	}
+	nodes, marked, err := qeg.ExtractAnswerFull(frag, query, f.Clock, qeg.ExtractOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return &Answer{Nodes: nodes, Unreachable: mergePaths(reported, marked)}, nil
 }
 
 // QueryFragment runs the query and returns the raw assembled answer
 // fragment (status-tagged, C1/C2-valid), which callers may cache.
 func (f *Frontend) QueryFragment(query string) (*xmldb.Node, error) {
+	return f.QueryFragmentContext(context.Background(), query)
+}
+
+// QueryFragmentContext is QueryFragment with a caller-supplied context.
+func (f *Frontend) QueryFragmentContext(ctx context.Context, query string) (*xmldb.Node, error) {
+	frag, _, err := f.queryFragment(ctx, query)
+	return frag, err
+}
+
+func (f *Frontend) queryFragment(ctx context.Context, query string) (*xmldb.Node, []string, error) {
 	entry, _, err := f.RouteOf(query)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	ctx, cancel := f.withDeadline(ctx)
+	defer cancel()
 	msg := &site.Message{Kind: site.KindQuery, Query: query}
-	respB, err := f.Net.Call(entry, msg.Encode())
+	msg.StampDeadline(ctx)
+	respB, err := f.caller().Call(ctx, entry, msg.Encode())
 	if err != nil {
-		return nil, fmt.Errorf("service: query to %s: %w", entry, err)
+		return nil, nil, fmt.Errorf("service: query to %s: %w", entry, err)
 	}
 	resp, err := site.DecodeMessage(respB)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if e := resp.AsError(); e != nil {
-		return nil, e
+		return nil, nil, e
 	}
-	return xmldb.ParseString(resp.Fragment)
+	frag, err := xmldb.ParseString(resp.Fragment)
+	if err != nil {
+		return nil, nil, err
+	}
+	return frag, resp.Unreachable, nil
+}
+
+// mergePaths unions two sorted-ish path lists, preserving first-seen order.
+func mergePaths(a, b []string) []string {
+	if len(a) == 0 && len(b) == 0 {
+		return nil
+	}
+	seen := map[string]bool{}
+	out := make([]string, 0, len(a)+len(b))
+	for _, lst := range [][]string{a, b} {
+		for _, p := range lst {
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	return out
 }
 
 // LCAPath extracts the ID path of the query's lowest common ancestor from
@@ -100,12 +200,20 @@ func LCAPath(query string) (xmldb.IDPath, error) { return qeg.LCAPath(query) }
 // Update sends a sensor update to the owner of the target node, resolved
 // via DNS exactly as sensing agents do.
 func (f *Frontend) Update(path xmldb.IDPath, fields, attrs map[string]string) error {
+	return f.UpdateContext(context.Background(), path, fields, attrs)
+}
+
+// UpdateContext is Update with a caller-supplied context/deadline.
+func (f *Frontend) UpdateContext(ctx context.Context, path xmldb.IDPath, fields, attrs map[string]string) error {
 	owner, err := f.DNS.Resolve(path)
 	if err != nil {
 		return err
 	}
+	ctx, cancel := f.withDeadline(ctx)
+	defer cancel()
 	msg := &site.Message{Kind: site.KindUpdate, Path: path.String(), Fields: fields, Attrs: attrs}
-	respB, err := f.Net.Call(owner, msg.Encode())
+	msg.StampDeadline(ctx)
+	respB, err := f.caller().Call(ctx, owner, msg.Encode())
 	if err != nil {
 		return err
 	}

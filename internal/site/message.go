@@ -5,8 +5,10 @@
 package site
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"time"
 )
 
 // Message kinds.
@@ -35,6 +37,29 @@ type Message struct {
 	Op       string            `json:"op,omitempty"`
 	Paths    []string          `json:"paths,omitempty"`
 	Error    string            `json:"error,omitempty"`
+	// DeadlineMS propagates the query deadline across sites as a Unix
+	// timestamp in milliseconds: each hop derives its remaining budget from
+	// it, so a wide-area chain of subqueries shares one deadline instead of
+	// resetting it per hop. Zero means no deadline.
+	DeadlineMS int64 `json:"deadlineMs,omitempty"`
+	// Unreachable lists the ID paths of subtrees a partial answer could not
+	// cover because their owners did not respond in time (KindResult only).
+	Unreachable []string `json:"unreachable,omitempty"`
+}
+
+// Deadline converts DeadlineMS back to a time; ok is false when unset.
+func (m *Message) Deadline() (time.Time, bool) {
+	if m.DeadlineMS <= 0 {
+		return time.Time{}, false
+	}
+	return time.UnixMilli(m.DeadlineMS), true
+}
+
+// StampDeadline copies the context's deadline (if any) into the message.
+func (m *Message) StampDeadline(ctx context.Context) {
+	if d, ok := ctx.Deadline(); ok {
+		m.DeadlineMS = d.UnixMilli()
+	}
 }
 
 // Encode marshals the message.

@@ -1,6 +1,7 @@
 package site
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -68,7 +69,7 @@ func (s *Site) Delegate(path xmldb.IDPath, newOwner string) error {
 		Fragment: frag.Root.String(),
 		Paths:    keys,
 	}
-	respB, err := s.cfg.Net.Call(newOwner, take.Encode())
+	respB, err := s.call.Call(context.Background(), newOwner, take.Encode())
 	if err != nil {
 		return fmt.Errorf("site %s: transferring %s to %s: %w", s.cfg.Name, path, newOwner, err)
 	}

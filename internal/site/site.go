@@ -1,7 +1,9 @@
 package site
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -58,16 +60,27 @@ type Config struct {
 	UpdateWork  time.Duration
 	// Clock returns the current time in seconds; nil uses the wall clock.
 	Clock func() float64
+	// CallTimeout bounds each individual network attempt this site makes
+	// (subquery fetches, forwards, migrations). Zero uses
+	// transport.DefaultCallTimeout; the query's overall deadline, carried in
+	// the message envelope, still caps everything.
+	CallTimeout time.Duration
+	// Retry shapes the retry loop around those attempts; the zero value
+	// uses the transport defaults (3 attempts, exponential backoff).
+	Retry transport.RetryPolicy
 }
 
 // Metrics exposes a site's counters to the harness.
 type Metrics struct {
-	Queries    metrics.Counter // queries and subqueries served
-	Subqueries metrics.Counter // subqueries this site issued
-	Updates    metrics.Counter // sensor updates applied
-	CacheHits  metrics.Counter // queries fully answered locally
-	Forwards   metrics.Counter // updates forwarded after migration
-	Breakdown  *metrics.Breakdown
+	Queries        metrics.Counter // queries and subqueries served
+	Subqueries     metrics.Counter // subqueries this site issued
+	Updates        metrics.Counter // sensor updates applied
+	CacheHits      metrics.Counter // queries fully answered locally
+	Forwards       metrics.Counter // updates forwarded after migration
+	Retries        metrics.Counter // network attempts retried after failure
+	DeadlineHits   metrics.Counter // attempts that timed out
+	PartialAnswers metrics.Counter // results with unreachable subtrees
+	Breakdown      *metrics.Breakdown
 }
 
 // Site is one organizing agent.
@@ -75,6 +88,7 @@ type Site struct {
 	cfg      Config
 	cpu      *transport.CPU
 	compiler *qeg.Compiler
+	call     *transport.Caller
 
 	mu       sync.RWMutex
 	store    *fragment.Store
@@ -98,6 +112,14 @@ func New(cfg Config, rootName, rootID string) *Site {
 		migrated: map[string]string{},
 	}
 	s.Metrics.Breakdown = metrics.NewBreakdown()
+	s.call = &transport.Caller{
+		Net:        cfg.Net,
+		Policy:     cfg.Retry,
+		Budget:     transport.NewRetryBudget(0, 0),
+		Timeout:    cfg.CallTimeout,
+		OnRetry:    s.Metrics.Retries.Inc,
+		OnDeadline: s.Metrics.DeadlineHits.Inc,
+	}
 	return s
 }
 
@@ -149,18 +171,27 @@ func (s *Site) Owns(p xmldb.IDPath) bool {
 	return s.owned[p.Key()]
 }
 
-// Handle is the transport entry point.
-func (s *Site) Handle(payload []byte) ([]byte, error) {
+// Handle is the transport entry point. The effective deadline is the
+// tighter of the transport context's and the one stamped in the message
+// envelope (which is how deadlines survive real TCP hops).
+func (s *Site) Handle(ctx context.Context, payload []byte) ([]byte, error) {
 	var resp *Message
 	msg, err := DecodeMessage(payload)
 	if err != nil {
 		return errorMessage(err).Encode(), nil
 	}
+	if d, ok := msg.Deadline(); ok {
+		if cur, has := ctx.Deadline(); !has || d.Before(cur) {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithDeadline(ctx, d)
+			defer cancel()
+		}
+	}
 	switch msg.Kind {
 	case KindQuery:
-		resp = s.handleQuery(msg)
+		resp = s.handleQuery(ctx, msg)
 	case KindUpdate:
-		resp = s.handleUpdate(msg)
+		resp = s.handleUpdate(ctx, msg)
 	case KindDelegate:
 		resp = s.handleDelegate(msg)
 	case KindTake:
@@ -175,13 +206,17 @@ func (s *Site) Handle(payload []byte) ([]byte, error) {
 
 // handleQuery runs the full query-evaluate-gather loop for a query or
 // subquery arriving at this site and returns the assembled answer fragment.
-func (s *Site) handleQuery(msg *Message) *Message {
+// Subquery failures do not fail the query: the affected subtree is spliced
+// in as an unreachable placeholder and listed in the result's Unreachable
+// paths (partial answers).
+func (s *Site) handleQuery(ctx context.Context, msg *Message) *Message {
 	// Stale-DNS forwarding (Section 4): if the query targets a subtree this
 	// site delegated away, pass it to the new owner rather than serving a
 	// stale copy — the old owner "has the correct DNS entry in its cache".
 	if to, ok := s.forwardTarget(msg.Query); ok {
 		s.Metrics.Forwards.Inc()
-		respB, err := s.cfg.Net.Call(to, msg.Encode())
+		msg.StampDeadline(ctx)
+		respB, err := s.call.Call(ctx, to, msg.Encode())
 		if err != nil {
 			return errorMessage(fmt.Errorf("site %s: forwarding to %s: %w", s.cfg.Name, to, err))
 		}
@@ -209,6 +244,7 @@ func (s *Site) handleQuery(msg *Message) *Message {
 	opts := qeg.Options{Now: s.cfg.Clock, IgnoreCached: s.cfg.CacheBypass}
 	ans := fragment.NewStore(s.rootName(), s.rootID())
 	seen := map[string]bool{}
+	unreachable := map[string]bool{}
 	askedAny := false
 
 	var execTime, commTime time.Duration
@@ -268,23 +304,29 @@ func (s *Site) handleQuery(msg *Message) *Message {
 			// them concurrently (the splice itself stays serialized).
 			tc := time.Now()
 			subs := make([]*xmldb.Node, len(fresh))
+			downs := make([][]string, len(fresh))
 			errs := make([]error, len(fresh))
 			var wg sync.WaitGroup
 			for i, sq := range fresh {
 				wg.Add(1)
 				go func(i int, sq qeg.Subquery) {
 					defer wg.Done()
-					subs[i], errs[i] = s.fetchSubquery(sq)
+					subs[i], downs[i], errs[i] = s.fetchSubquery(ctx, sq)
 				}(i, sq)
 			}
 			wg.Wait()
 			commTime += time.Since(tc)
-			for _, err := range errs {
-				if err != nil {
-					return errorMessage(err)
+			for i, sub := range subs {
+				if errs[i] != nil {
+					// Partial answer: the target's owner did not respond
+					// within the remaining budget. Splice an unreachable
+					// placeholder instead of failing the whole query; the
+					// seen-set guarantees the subquery is not reissued.
+					if merr := s.markUnreachable(ans, unreachable, fresh[i].Target); merr != nil {
+						return errorMessage(fmt.Errorf("site %s: marking %s unreachable: %w", s.cfg.Name, fresh[i].Target, merr))
+					}
+					continue
 				}
-			}
-			for _, sub := range subs {
 				var mergeErr error
 				s.cpu.Do(func() {
 					if work != nil {
@@ -301,6 +343,17 @@ func (s *Site) handleQuery(msg *Message) *Message {
 				})
 				if mergeErr != nil {
 					return errorMessage(fmt.Errorf("site %s: splicing subanswer: %w", s.cfg.Name, mergeErr))
+				}
+				// Unreachable markers carry no data, so merging drops them;
+				// re-apply the downstream site's partial-answer list here.
+				for _, us := range downs[i] {
+					p, perr := xmldb.ParseIDPath(us)
+					if perr != nil {
+						continue
+					}
+					if merr := s.markUnreachable(ans, unreachable, p); merr != nil {
+						return errorMessage(fmt.Errorf("site %s: marking %s unreachable: %w", s.cfg.Name, p, merr))
+					}
 				}
 			}
 			if work == nil {
@@ -329,27 +382,55 @@ func (s *Site) handleQuery(msg *Message) *Message {
 	})
 	total := time.Since(t0)
 	s.Metrics.Breakdown.Add("rest", total-execTime-commTime)
-	return &Message{Kind: KindResult, Fragment: out}
+	res := &Message{Kind: KindResult, Fragment: out}
+	if len(unreachable) > 0 {
+		s.Metrics.PartialAnswers.Inc()
+		res.Unreachable = make([]string, 0, len(unreachable))
+		for k := range unreachable {
+			res.Unreachable = append(res.Unreachable, k)
+		}
+		sort.Strings(res.Unreachable)
+	}
+	return res
 }
 
-// fetchSubquery routes one subquery to the owner of its target node. CPU
-// is consumed for encode/decode; the network wait itself is not billed to
-// this site's capacity.
-func (s *Site) fetchSubquery(sq qeg.Subquery) (*xmldb.Node, error) {
+// markUnreachable splices an unreachable placeholder for the path into the
+// answer fragment and records it in the result's unreachable set.
+func (s *Site) markUnreachable(ans *fragment.Store, set map[string]bool, p xmldb.IDPath) error {
+	var err error
+	s.cpu.Do(func() {
+		err = ans.MarkUnreachable(p)
+	})
+	if err != nil {
+		return err
+	}
+	set[p.Key()] = true
+	return nil
+}
+
+// fetchSubquery routes one subquery to the owner of its target node,
+// retrying transient failures within the context's deadline. It returns the
+// answer fragment plus the remote site's own unreachable-path list (partial
+// answers compose across hops). CPU is consumed for encode/decode; the
+// network wait itself is not billed to this site's capacity.
+func (s *Site) fetchSubquery(ctx context.Context, sq qeg.Subquery) (*xmldb.Node, []string, error) {
 	s.Metrics.Subqueries.Inc()
 	owner, err := s.cfg.DNS.Resolve(sq.Target)
 	if err != nil {
-		return nil, fmt.Errorf("site %s: resolving %s: %w", s.cfg.Name, sq.Target, err)
+		return nil, nil, fmt.Errorf("site %s: resolving %s: %w", s.cfg.Name, sq.Target, err)
 	}
 	var payload []byte
 	s.cpu.Do(func() {
-		payload = (&Message{Kind: KindQuery, Query: sq.Query}).Encode()
+		m := &Message{Kind: KindQuery, Query: sq.Query}
+		m.StampDeadline(ctx)
+		payload = m.Encode()
 	})
-	respB, err := s.cfg.Net.Call(owner, payload)
+	respB, err := s.call.Call(ctx, owner, payload)
 	if err != nil {
-		return nil, fmt.Errorf("site %s: calling %s: %w", s.cfg.Name, owner, err)
+		return nil, nil, fmt.Errorf("site %s: calling %s: %w", s.cfg.Name, owner, err)
 	}
 	var frag *xmldb.Node
+	var unreachable []string
 	var derr error
 	s.cpu.Do(func() {
 		var resp *Message
@@ -361,18 +442,19 @@ func (s *Site) fetchSubquery(sq qeg.Subquery) (*xmldb.Node, error) {
 			derr = e
 			return
 		}
+		unreachable = resp.Unreachable
 		frag, derr = xmldb.ParseString(resp.Fragment)
 	})
 	if derr != nil {
-		return nil, fmt.Errorf("site %s: subanswer from %s: %w", s.cfg.Name, owner, derr)
+		return nil, nil, fmt.Errorf("site %s: subanswer from %s: %w", s.cfg.Name, owner, derr)
 	}
-	return frag, nil
+	return frag, unreachable, nil
 }
 
 // handleUpdate applies a sensor update to an owned node, stamping it with
 // the site clock. Updates for nodes that migrated away are forwarded to
 // the current owner (one hop; the registry is authoritative).
-func (s *Site) handleUpdate(msg *Message) *Message {
+func (s *Site) handleUpdate(ctx context.Context, msg *Message) *Message {
 	p, err := xmldb.ParseIDPath(msg.Path)
 	if err != nil {
 		return errorMessage(err)
@@ -404,7 +486,8 @@ func (s *Site) handleUpdate(msg *Message) *Message {
 	if !ok || owner == s.cfg.Name {
 		return errorMessage(fmt.Errorf("site %s: update for unowned node %s with no forwarding target", s.cfg.Name, p))
 	}
-	respB, err := s.cfg.Net.Call(owner, msg.Encode())
+	msg.StampDeadline(ctx)
+	respB, err := s.call.Call(ctx, owner, msg.Encode())
 	if err != nil {
 		return errorMessage(err)
 	}

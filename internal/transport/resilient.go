@@ -1,0 +1,200 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Default resilience parameters, used when the corresponding RetryPolicy or
+// Caller fields are zero.
+const (
+	// DefaultMaxAttempts bounds a single logical call to one first try plus
+	// two retries.
+	DefaultMaxAttempts = 3
+	// DefaultBaseBackoff is the delay before the first retry.
+	DefaultBaseBackoff = 2 * time.Millisecond
+	// DefaultMaxBackoff caps the exponential growth.
+	DefaultMaxBackoff = 250 * time.Millisecond
+	// DefaultCallTimeout bounds one attempt when the Caller has no explicit
+	// per-attempt timeout; it keeps a black-holed site from hanging a query
+	// forever even when the user supplied no deadline.
+	DefaultCallTimeout = 5 * time.Second
+)
+
+// RetryPolicy shapes retries of failed calls: exponential backoff with
+// jitter, bounded by a maximum attempt count. The zero value means
+// "defaults", so it can live in config structs without ceremony.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (first call included).
+	// Zero means DefaultMaxAttempts; 1 disables retries.
+	MaxAttempts int
+	// BaseBackoff is the nominal delay before the first retry; each further
+	// retry doubles it, capped at MaxBackoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the backoff growth.
+	MaxBackoff time.Duration
+	// JitterFrac spreads each backoff uniformly over [d*(1-j), d] to keep
+	// retry storms from synchronizing. Values outside (0, 1] mean the
+	// default of 0.5.
+	JitterFrac float64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = DefaultMaxAttempts
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = DefaultBaseBackoff
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = DefaultMaxBackoff
+	}
+	if p.JitterFrac <= 0 || p.JitterFrac > 1 {
+		p.JitterFrac = 0.5
+	}
+	return p
+}
+
+// backoff returns the jittered delay before retry number retry (1-based).
+func (p RetryPolicy) backoff(retry int) time.Duration {
+	d := p.BaseBackoff
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if d >= p.MaxBackoff {
+			d = p.MaxBackoff
+			break
+		}
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	// Uniform over [d*(1-jitter), d]; rand's top-level source is locked.
+	lo := float64(d) * (1 - p.JitterFrac)
+	return time.Duration(lo + rand.Float64()*(float64(d)-lo))
+}
+
+// RetryBudget bounds the aggregate rate of retries so a fan-out of failing
+// subqueries cannot amplify an outage (each layer retrying N times turns
+// one user query into N^depth messages). It is a token bucket: every
+// logical call deposits EarnPerCall tokens (up to the cap), every retry
+// withdraws one; when the bucket is empty, failures are returned without
+// retrying. A nil *RetryBudget means "unbounded".
+type RetryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	cap    float64
+	earn   float64
+}
+
+// NewRetryBudget creates a budget allowing bursts of up to cap retries and
+// a sustained retry rate of earnPerCall retries per call. Non-positive
+// arguments fall back to 64 and 0.25.
+func NewRetryBudget(cap, earnPerCall float64) *RetryBudget {
+	if cap <= 0 {
+		cap = 64
+	}
+	if earnPerCall <= 0 {
+		earnPerCall = 0.25
+	}
+	return &RetryBudget{tokens: cap, cap: cap, earn: earnPerCall}
+}
+
+func (b *RetryBudget) deposit() {
+	b.mu.Lock()
+	b.tokens += b.earn
+	if b.tokens > b.cap {
+		b.tokens = b.cap
+	}
+	b.mu.Unlock()
+}
+
+func (b *RetryBudget) withdraw() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Caller is the resilient call path every outgoing site and frontend call
+// goes through: per-attempt deadlines, retries with exponential backoff and
+// jitter, and a shared retry budget. The zero value works (defaults apply)
+// but shares no budget; long-lived components should share one Caller so
+// the budget actually bounds amplification.
+type Caller struct {
+	// Net is the underlying transport.
+	Net Network
+	// Policy shapes retries; zero value = defaults.
+	Policy RetryPolicy
+	// Budget, when non-nil, globally bounds retries issued through this
+	// Caller.
+	Budget *RetryBudget
+	// Timeout bounds each individual attempt. Zero means
+	// DefaultCallTimeout; negative disables the per-attempt bound (the
+	// parent context alone governs).
+	Timeout time.Duration
+	// OnRetry, when non-nil, is invoked once per retry (metrics hook).
+	OnRetry func()
+	// OnDeadline, when non-nil, is invoked whenever an attempt ends with a
+	// deadline expiry (metrics hook).
+	OnDeadline func()
+}
+
+// Call performs one logical request with retries. It returns the last
+// attempt's error when all attempts fail. The parent context bounds the
+// whole exchange including backoff sleeps; each attempt is additionally
+// bounded by Timeout.
+func (c *Caller) Call(ctx context.Context, site string, payload []byte) ([]byte, error) {
+	p := c.Policy.withDefaults()
+	if c.Budget != nil {
+		c.Budget.deposit()
+	}
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		actx, cancel := ctx, context.CancelFunc(func() {})
+		if t := c.attemptTimeout(); t > 0 {
+			actx, cancel = context.WithTimeout(ctx, t)
+		}
+		resp, err := c.Net.CallContext(actx, site, payload)
+		cancel()
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if errors.Is(err, context.DeadlineExceeded) && c.OnDeadline != nil {
+			c.OnDeadline()
+		}
+		if ctx.Err() != nil {
+			// The parent gave up (deadline or cancel): no retry can help.
+			return nil, lastErr
+		}
+		if !Retryable(err) || attempt >= p.MaxAttempts {
+			return nil, lastErr
+		}
+		if c.Budget != nil && !c.Budget.withdraw() {
+			return nil, lastErr
+		}
+		if c.OnRetry != nil {
+			c.OnRetry()
+		}
+		if err := sleepCtx(ctx, p.backoff(attempt)); err != nil {
+			return nil, lastErr
+		}
+	}
+}
+
+func (c *Caller) attemptTimeout() time.Duration {
+	switch {
+	case c.Timeout > 0:
+		return c.Timeout
+	case c.Timeout < 0:
+		return 0
+	default:
+		return DefaultCallTimeout
+	}
+}

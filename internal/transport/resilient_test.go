@@ -1,0 +1,186 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// scriptNet returns a canned error per call, then succeeds once the script
+// is exhausted. It records how many calls it saw.
+type scriptNet struct {
+	script []error
+	calls  int
+	ctxs   []context.Context
+}
+
+func (s *scriptNet) CallContext(ctx context.Context, site string, payload []byte) ([]byte, error) {
+	s.ctxs = append(s.ctxs, ctx)
+	i := s.calls
+	s.calls++
+	if i < len(s.script) {
+		if err := s.script[i]; err != nil {
+			return nil, err
+		}
+	}
+	return payload, nil
+}
+
+func (s *scriptNet) Call(site string, payload []byte) ([]byte, error) {
+	return s.CallContext(context.Background(), site, payload)
+}
+
+func (s *scriptNet) Register(string, Handler) error { return nil }
+func (s *scriptNet) Unregister(string)              {}
+
+func TestCallerRetriesThenSucceeds(t *testing.T) {
+	net := &scriptNet{script: []error{ErrDropped, ErrDropped}}
+	var retries int
+	c := &Caller{Net: net, OnRetry: func() { retries++ }}
+	got, err := c.Call(context.Background(), "a", []byte("hi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hi" {
+		t.Fatalf("payload = %q", got)
+	}
+	if net.calls != 3 {
+		t.Fatalf("calls = %d, want 3", net.calls)
+	}
+	if retries != 2 {
+		t.Fatalf("OnRetry fired %d times, want 2", retries)
+	}
+}
+
+func TestCallerStopsAfterMaxAttempts(t *testing.T) {
+	net := &scriptNet{script: []error{ErrDropped, ErrDropped, ErrDropped, ErrDropped}}
+	c := &Caller{Net: net, Policy: RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Microsecond}}
+	_, err := c.Call(context.Background(), "a", nil)
+	if !errors.Is(err, ErrDropped) {
+		t.Fatalf("err = %v, want ErrDropped", err)
+	}
+	if net.calls != 2 {
+		t.Fatalf("calls = %d, want 2", net.calls)
+	}
+}
+
+func TestCallerDoesNotRetryCancellation(t *testing.T) {
+	net := &scriptNet{script: []error{context.Canceled}}
+	c := &Caller{Net: net}
+	_, err := c.Call(context.Background(), "a", nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if net.calls != 1 {
+		t.Fatalf("calls = %d, want 1 (cancellation must not retry)", net.calls)
+	}
+}
+
+func TestCallerRespectsParentContext(t *testing.T) {
+	net := &scriptNet{script: []error{ErrDropped, ErrDropped, ErrDropped}}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := &Caller{Net: net}
+	if _, err := c.Call(ctx, "a", nil); err == nil {
+		t.Fatal("want error after parent cancellation")
+	}
+	if net.calls > 1 {
+		t.Fatalf("calls = %d, want <= 1 after parent cancellation", net.calls)
+	}
+}
+
+func TestCallerBudgetExhaustion(t *testing.T) {
+	// Budget with capacity 1 and negligible earn rate: the first failure
+	// spends the only token, the second failure cannot retry.
+	net := &scriptNet{script: []error{ErrDropped, ErrDropped, ErrDropped, ErrDropped}}
+	c := &Caller{
+		Net:    net,
+		Policy: RetryPolicy{MaxAttempts: 10, BaseBackoff: time.Microsecond},
+		Budget: NewRetryBudget(1, 1e-9),
+	}
+	_, err := c.Call(context.Background(), "a", nil)
+	if !errors.Is(err, ErrDropped) {
+		t.Fatalf("err = %v, want ErrDropped", err)
+	}
+	if net.calls != 2 {
+		t.Fatalf("calls = %d, want 2 (1 token = 1 retry)", net.calls)
+	}
+	// A second call immediately after has no tokens at all: no retries.
+	net2 := &scriptNet{script: []error{ErrDropped, ErrDropped}}
+	c.Net = net2
+	if _, err := c.Call(context.Background(), "a", nil); err == nil {
+		t.Fatal("want failure with empty budget")
+	}
+	if net2.calls != 1 {
+		t.Fatalf("calls = %d, want 1 with empty budget", net2.calls)
+	}
+}
+
+func TestCallerPerAttemptTimeout(t *testing.T) {
+	net := &scriptNet{}
+	var ddl int
+	c := &Caller{
+		Net:        net,
+		Timeout:    25 * time.Millisecond,
+		OnDeadline: func() { ddl++ },
+	}
+	if _, err := c.Call(context.Background(), "a", nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(net.ctxs) != 1 {
+		t.Fatalf("calls = %d, want 1", len(net.ctxs))
+	}
+	if _, ok := net.ctxs[0].Deadline(); !ok {
+		t.Fatal("per-attempt context must carry a deadline")
+	}
+	if ddl != 0 {
+		t.Fatal("OnDeadline must not fire on success")
+	}
+}
+
+func TestCallerOnDeadlineHook(t *testing.T) {
+	net := &scriptNet{script: []error{context.DeadlineExceeded, context.DeadlineExceeded}}
+	var ddl int
+	c := &Caller{
+		Net:        net,
+		Policy:     RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Microsecond},
+		OnDeadline: func() { ddl++ },
+	}
+	_, err := c.Call(context.Background(), "a", nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if ddl != 2 {
+		t.Fatalf("OnDeadline fired %d times, want 2", ddl)
+	}
+}
+
+func TestRetryPolicyBackoffCapped(t *testing.T) {
+	p := RetryPolicy{BaseBackoff: 2 * time.Millisecond, MaxBackoff: 10 * time.Millisecond}.withDefaults()
+	for attempt := 1; attempt <= 12; attempt++ {
+		d := p.backoff(attempt)
+		if d > 10*time.Millisecond {
+			t.Fatalf("backoff(%d) = %v exceeds cap", attempt, d)
+		}
+		if d <= 0 {
+			t.Fatalf("backoff(%d) = %v, want positive", attempt, d)
+		}
+	}
+}
+
+func TestRetryBudgetEarnsBack(t *testing.T) {
+	b := NewRetryBudget(2, 0.5)
+	if !b.withdraw() || !b.withdraw() {
+		t.Fatal("fresh budget should allow its capacity in withdrawals")
+	}
+	if b.withdraw() {
+		t.Fatal("budget overdrawn")
+	}
+	for i := 0; i < 4; i++ {
+		b.deposit()
+	}
+	if !b.withdraw() {
+		t.Fatal("deposits should refill the budget")
+	}
+}

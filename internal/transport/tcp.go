@@ -2,11 +2,13 @@ package transport
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // TCPNet is a Network over real TCP sockets, used by the cmd/ deployment
@@ -95,7 +97,10 @@ func (t *TCPNet) serveConn(conn net.Conn, h Handler) {
 		if err != nil {
 			return
 		}
-		resp, herr := h(payload)
+		// Deadline propagation across processes rides in the message body
+		// (the site layer re-derives its context from the encoded deadline),
+		// so the handler starts from a fresh context here.
+		resp, herr := h(context.Background(), payload)
 		status := byte(0)
 		if herr != nil {
 			status = 1
@@ -122,6 +127,13 @@ func (t *TCPNet) Unregister(site string) {
 
 // Call implements Network.
 func (t *TCPNet) Call(site string, payload []byte) ([]byte, error) {
+	return t.CallContext(context.Background(), site, payload)
+}
+
+// CallContext implements Network. The context deadline bounds dialing and
+// the round trip via connection deadlines; an expired call closes its
+// connection (the response, if it ever arrives, is discarded with it).
+func (t *TCPNet) CallContext(ctx context.Context, site string, payload []byte) ([]byte, error) {
 	t.mu.RLock()
 	addr, ok := t.addrs[site]
 	pool := t.pools[site]
@@ -138,14 +150,32 @@ func (t *TCPNet) Call(site string, payload []byte) ([]byte, error) {
 		}
 		t.mu.Unlock()
 	}
-	c, err := pool.get()
+	c, err := pool.get(ctx)
 	if err != nil {
 		return nil, err
+	}
+	deadline, hasDeadline := ctx.Deadline()
+	if hasDeadline {
+		if err := c.conn.SetDeadline(deadline); err != nil {
+			c.close()
+			return nil, err
+		}
 	}
 	status, resp, err := c.roundTrip(payload)
 	if err != nil {
 		c.close()
+		// Report the context's expiry rather than the opaque i/o timeout so
+		// callers can classify the failure.
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
 		return nil, err
+	}
+	if hasDeadline {
+		if err := c.conn.SetDeadline(time.Time{}); err != nil {
+			c.close()
+			return nil, err
+		}
 	}
 	pool.put(c)
 	if status != 0 {
@@ -167,7 +197,7 @@ type clientConn struct {
 	w    *bufio.Writer
 }
 
-func (p *connPool) get() (*clientConn, error) {
+func (p *connPool) get(ctx context.Context) (*clientConn, error) {
 	p.mu.Lock()
 	if n := len(p.free); n > 0 {
 		c := p.free[n-1]
@@ -176,7 +206,8 @@ func (p *connPool) get() (*clientConn, error) {
 		return c, nil
 	}
 	p.mu.Unlock()
-	conn, err := net.Dial("tcp", p.addr)
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", p.addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", p.addr, err)
 	}

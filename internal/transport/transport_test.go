@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -12,7 +13,7 @@ import (
 
 func TestSimNetRoundTrip(t *testing.T) {
 	n := NewSimNet(SimConfig{})
-	echo := func(p []byte) ([]byte, error) { return append([]byte("re:"), p...), nil }
+	echo := func(_ context.Context, p []byte) ([]byte, error) { return append([]byte("re:"), p...), nil }
 	if err := n.Register("a", echo); err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +35,7 @@ func TestSimNetUnknownSite(t *testing.T) {
 
 func TestSimNetDuplicateRegister(t *testing.T) {
 	n := NewSimNet(SimConfig{})
-	h := func(p []byte) ([]byte, error) { return p, nil }
+	h := func(_ context.Context, p []byte) ([]byte, error) { return p, nil }
 	if err := n.Register("a", h); err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestSimNetDuplicateRegister(t *testing.T) {
 
 func TestSimNetHandlerError(t *testing.T) {
 	n := NewSimNet(SimConfig{})
-	if err := n.Register("a", func([]byte) ([]byte, error) { return nil, errors.New("boom") }); err != nil {
+	if err := n.Register("a", func(context.Context, []byte) ([]byte, error) { return nil, errors.New("boom") }); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := n.Call("a", nil); err == nil || err.Error() != "boom" {
@@ -59,7 +60,7 @@ func TestSimNetHandlerError(t *testing.T) {
 
 func TestSimNetLatency(t *testing.T) {
 	n := NewSimNet(SimConfig{Latency: 5 * time.Millisecond})
-	if err := n.Register("a", func(p []byte) ([]byte, error) { return p, nil }); err != nil {
+	if err := n.Register("a", func(_ context.Context, p []byte) ([]byte, error) { return p, nil }); err != nil {
 		t.Fatal(err)
 	}
 	t0 := time.Now()
@@ -74,7 +75,7 @@ func TestSimNetLatency(t *testing.T) {
 func TestSimNetConcurrent(t *testing.T) {
 	n := NewSimNet(SimConfig{Jitter: time.Microsecond})
 	var served atomic.Int64
-	if err := n.Register("a", func(p []byte) ([]byte, error) {
+	if err := n.Register("a", func(_ context.Context, p []byte) ([]byte, error) {
 		served.Add(1)
 		return p, nil
 	}); err != nil {
@@ -156,7 +157,7 @@ func TestCPUMultipleSlots(t *testing.T) {
 
 func TestTCPNetRoundTrip(t *testing.T) {
 	net := NewTCPNet(map[string]string{"srv": "127.0.0.1:0"})
-	if err := net.Register("srv", func(p []byte) ([]byte, error) {
+	if err := net.Register("srv", func(_ context.Context, p []byte) ([]byte, error) {
 		return append([]byte("got:"), p...), nil
 	}); err != nil {
 		t.Fatal(err)
@@ -181,7 +182,7 @@ func TestTCPNetRoundTrip(t *testing.T) {
 
 func TestTCPNetHandlerError(t *testing.T) {
 	net := NewTCPNet(map[string]string{"srv": "127.0.0.1:0"})
-	if err := net.Register("srv", func(p []byte) ([]byte, error) {
+	if err := net.Register("srv", func(_ context.Context, p []byte) ([]byte, error) {
 		return nil, errors.New("remote failure")
 	}); err != nil {
 		t.Fatal(err)
@@ -204,7 +205,7 @@ func TestTCPNetUnknownSite(t *testing.T) {
 
 func TestTCPNetConcurrentClients(t *testing.T) {
 	net := NewTCPNet(map[string]string{"srv": "127.0.0.1:0"})
-	if err := net.Register("srv", func(p []byte) ([]byte, error) { return p, nil }); err != nil {
+	if err := net.Register("srv", func(_ context.Context, p []byte) ([]byte, error) { return p, nil }); err != nil {
 		t.Fatal(err)
 	}
 	defer net.Unregister("srv")
