@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci build fmt vet test bench-smoke
+.PHONY: ci build fmt vet test bench-smoke metrics-smoke
 
-ci: build fmt vet test bench-smoke
+ci: build fmt vet test bench-smoke metrics-smoke
 
 build:
 	$(GO) build ./...
@@ -25,3 +25,8 @@ test:
 
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Boots a real irisnetd on the demo topology and curls its observability
+# endpoint: /healthz must answer ok, /metrics must expose the query series.
+metrics-smoke:
+	./scripts/metrics_smoke.sh

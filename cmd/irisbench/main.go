@@ -8,7 +8,8 @@
 //	irisbench -exp all            # every experiment (several minutes)
 //	irisbench -exp fig7 -dur 5s   # one experiment, longer measurement
 //
-// Experiments: updates, fig7, fig8, fig9, fig10, fig11, latency, faults, all.
+// Experiments: updates, fig7, fig8, fig9, fig10, fig11, latency, faults,
+// trace-overhead, all.
 package main
 
 import (
@@ -27,7 +28,7 @@ import (
 )
 
 var (
-	expFlag   = flag.String("exp", "all", "experiment: updates|fig7|fig8|fig9|fig10|fig11|latency|faults|all")
+	expFlag   = flag.String("exp", "all", "experiment: updates|fig7|fig8|fig9|fig10|fig11|latency|faults|trace-overhead|all")
 	durFlag   = flag.Duration("dur", 3*time.Second, "measurement duration per cell")
 	clients   = flag.Int("clients", 24, "closed-loop query clients")
 	largeFlag = flag.Bool("large", false, "use the x8 database where applicable")
@@ -38,16 +39,17 @@ var (
 func main() {
 	flag.Parse()
 	exps := map[string]func(){
-		"updates": runUpdates,
-		"fig7":    runFig7,
-		"fig8":    runFig8,
-		"fig9":    runFig9,
-		"fig10":   runFig10,
-		"fig11":   runFig11,
-		"latency": runLatency,
-		"faults":  runFaults,
+		"updates":        runUpdates,
+		"fig7":           runFig7,
+		"fig8":           runFig8,
+		"fig9":           runFig9,
+		"fig10":          runFig10,
+		"fig11":          runFig11,
+		"latency":        runLatency,
+		"faults":         runFaults,
+		"trace-overhead": runTraceOverhead,
 	}
-	order := []string{"updates", "fig7", "fig8", "fig9", "fig10", "fig11", "latency", "faults"}
+	order := []string{"updates", "fig7", "fig8", "fig9", "fig10", "fig11", "latency", "faults", "trace-overhead"}
 	if *expFlag == "all" {
 		for _, name := range order {
 			exps[name]()
@@ -487,6 +489,38 @@ func runFaults() {
 	fmt.Println("Expected shape: retries absorb drops and stalls (err% ~0, modest latency/throughput cost).")
 	fmt.Println("Partitioning a site converts spanning queries into partial answers; only queries that must")
 	fmt.Println("ENTER at the dead site hard-fail, after burning their deadline (hence the p95 spike).")
+}
+
+// runTraceOverhead measures the cost of distributed tracing: the QW-Mix
+// workload on architecture 4 with tracing off, then on (every query carries
+// a TraceID, every hop records and returns a span, the frontend assembles
+// the tree and discards it). The acceptance bar is <5% throughput loss.
+func runTraceOverhead() {
+	header("Tracing overhead — QW-Mix on Architecture 4, tracing off vs on")
+	fmt.Printf("%-16s %10s %10s %10s\n", "", "q/sec", "mean-ms", "p95-ms")
+	var rates [2]float64
+	for i, traced := range []bool{false, true} {
+		cfg := baseCfg()
+		cfg.Seed = 7
+		c, err := cluster.New(cluster.Hierarchical, cfg)
+		fatal(err)
+		res := c.RunLoad(cluster.LoadOpts{
+			Clients: *clients, Duration: *durFlag, Mix: workload.QWMix,
+			HitRatio: -1, Trace: traced,
+		})
+		rates[i] = res.Throughput()
+		label := "Tracing off"
+		if traced {
+			label = "Tracing on"
+		}
+		fmt.Printf("%-16s %10.1f %10.1f %10.1f\n",
+			label, res.Throughput(), ms(res.Latency.Mean()), ms(res.Latency.Quantile(0.95)))
+		c.Close()
+	}
+	if rates[0] > 0 {
+		fmt.Printf("overhead: %.1f%% throughput loss with tracing on (target <5%%)\n",
+			100*(1-rates[1]/rates[0]))
+	}
 }
 
 func fatal(err error) {

@@ -11,12 +11,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
 	"irisnet/internal/deploy"
 	"irisnet/internal/xmldb"
 )
+
+var logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 
 func main() {
 	var (
@@ -48,7 +51,7 @@ func main() {
 	if len(targets) == 0 {
 		fatal(fmt.Errorf("no <%s> elements with ID paths in the document", *target))
 	}
-	fmt.Printf("irisload: %d targets, %.0f updates/sec for %v\n", len(targets), *rate, *dur)
+	logger.Info("starting load", "targets", len(targets), "rate", *rate, "dur", *dur)
 
 	fe := deploy.NewFrontend(topo)
 	interval := time.Duration(float64(time.Second) / *rate)
@@ -62,7 +65,7 @@ func main() {
 		if err != nil {
 			failed++
 			if failed <= 3 {
-				fmt.Fprintln(os.Stderr, "irisload:", err)
+				logger.Warn("update failed", "target", t.String(), "err", err)
 			}
 		} else {
 			sent++
@@ -70,12 +73,12 @@ func main() {
 		i++
 		time.Sleep(interval)
 	}
-	fmt.Printf("irisload: sent %d updates (%d failed)\n", sent, failed)
+	logger.Info("load complete", "sent", sent, "failed", failed)
 }
 
 func fatal(err error) {
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "irisload:", err)
+		logger.Error("fatal", "err", err)
 		os.Exit(1)
 	}
 }

@@ -20,14 +20,17 @@
 // One daemon also hosts the name registry (-registry), playing the DNS
 // server's role; all sites and tools resolve names through it.
 //
+// With -admin the daemon also serves an HTTP observability endpoint:
+// /metrics (Prometheus text), /healthz, and /debug/fragment.
+//
 // Usage:
 //
-//	irisnetd -topology topo.json -site oakland [-registry] [-caching]
+//	irisnetd -topology topo.json -site oakland [-registry] [-caching] [-admin :9090]
 package main
 
 import (
 	"flag"
-	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -37,40 +40,57 @@ import (
 
 func main() {
 	var (
-		topoPath = flag.String("topology", "", "path to the JSON topology file (required)")
-		siteName = flag.String("site", "", "name of the site to run (required)")
-		registry = flag.Bool("registry", false, "also host the name registry for the deployment")
-		caching  = flag.Bool("caching", true, "cache query results at this site")
+		topoPath  = flag.String("topology", "", "path to the JSON topology file (required)")
+		siteName  = flag.String("site", "", "name of the site to run (required)")
+		registry  = flag.Bool("registry", false, "also host the name registry for the deployment")
+		caching   = flag.Bool("caching", true, "cache query results at this site")
+		adminAddr = flag.String("admin", "", "serve /metrics, /healthz, /debug/fragment on this host:port (\":0\" picks a port)")
+		verbose   = flag.Bool("v", false, "log per-query debug detail (trace IDs, cache hits, fan-out)")
 	)
 	flag.Parse()
 	if *topoPath == "" || *siteName == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
 	topo, err := deploy.LoadTopology(*topoPath)
 	if err != nil {
-		fail(err)
+		fail(logger, err)
 	}
 	node, err := deploy.StartSite(topo, *siteName, deploy.SiteOptions{
 		HostRegistry: *registry,
 		Caching:      *caching,
+		AdminAddr:    *adminAddr,
+		Logger:       logger,
 	})
 	if err != nil {
-		fail(err)
+		fail(logger, err)
 	}
-	fmt.Printf("irisnetd: site %q serving on %s (registry hosted: %v, caching: %v)\n",
-		*siteName, topo.Sites[*siteName], *registry, *caching)
-	owned := node.Site.OwnedPaths()
-	fmt.Printf("irisnetd: owns %d IDable nodes\n", len(owned))
+	logger.Info("site serving",
+		"site", *siteName,
+		"addr", topo.Sites[*siteName],
+		"registry_hosted", *registry,
+		"caching", *caching,
+		"owned_nodes", len(node.Site.OwnedPaths()))
+	if node.AdminAddr != "" {
+		logger.Info("admin endpoint serving",
+			"addr", node.AdminAddr,
+			"paths", "/metrics /healthz /debug/fragment")
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	node.Stop()
-	fmt.Println("irisnetd: stopped")
+	logger.Info("stopped", "site", *siteName)
 }
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "irisnetd:", err)
+func fail(logger *slog.Logger, err error) {
+	logger.Error("startup failed", "err", err)
 	os.Exit(1)
 }

@@ -5,6 +5,7 @@
 //
 //	irisquery -topology topo.json "/usRegion[@id='NE']/.../parkingSpace[available='yes']"
 //	irisquery -topology topo.json -route "/usRegion[@id='NE']/..."   # show routing only
+//	irisquery -topology topo.json -trace "/usRegion[@id='NE']/..."   # EXPLAIN-style trace tree
 package main
 
 import (
@@ -14,6 +15,8 @@ import (
 	"os"
 
 	"irisnet/internal/deploy"
+	"irisnet/internal/service"
+	"irisnet/internal/trace"
 )
 
 func main() {
@@ -21,10 +24,11 @@ func main() {
 		topoPath  = flag.String("topology", "", "path to the JSON topology file (required)")
 		routeOnly = flag.Bool("route", false, "print the entry site instead of running the query")
 		rawFlag   = flag.Bool("raw", false, "print the raw assembled answer fragment (with status tags)")
+		traceFlag = flag.Bool("trace", false, "run the query with distributed tracing and print the trace tree")
 	)
 	flag.Parse()
 	if *topoPath == "" || flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: irisquery -topology topo.json [-route] [-raw] <xpath-query>")
+		fmt.Fprintln(os.Stderr, "usage: irisquery -topology topo.json [-route] [-raw] [-trace] <xpath-query>")
 		os.Exit(2)
 	}
 	query := flag.Arg(0)
@@ -45,17 +49,35 @@ func main() {
 		fmt.Println(frag.Indented())
 		return
 	}
+	if *traceFlag {
+		ans, span, err := fe.QueryTrace(context.Background(), query)
+		fatal(err)
+		if span != nil {
+			fmt.Println(trace.Render(span))
+		}
+		fmt.Printf("<!-- %d result(s) -->\n", len(ans.Nodes))
+		for _, n := range ans.Nodes {
+			fmt.Println(n.Indented())
+		}
+		reportPartial(ans)
+		return
+	}
 	ans, err := fe.QueryFull(context.Background(), query)
 	fatal(err)
 	fmt.Printf("<!-- %d result(s) -->\n", len(ans.Nodes))
 	for _, n := range ans.Nodes {
 		fmt.Println(n.Indented())
 	}
-	if ans.Partial() {
-		fmt.Fprintln(os.Stderr, "irisquery: PARTIAL ANSWER — unreachable subtrees:")
-		for _, p := range ans.Unreachable {
-			fmt.Fprintln(os.Stderr, "  ", p)
-		}
+	reportPartial(ans)
+}
+
+func reportPartial(ans *service.Answer) {
+	if !ans.Partial() {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "irisquery: PARTIAL ANSWER — unreachable subtrees:")
+	for _, p := range ans.Unreachable {
+		fmt.Fprintln(os.Stderr, "  ", p)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"irisnet/internal/fragment"
+	"irisnet/internal/metrics"
 	"irisnet/internal/naming"
 	"irisnet/internal/service"
 	"irisnet/internal/site"
@@ -119,6 +120,24 @@ type Cluster struct {
 	Sites    map[string]*site.Site
 	DB       *workload.DB
 	Assign   *fragment.Assignment
+	// Metrics is the process-wide metrics registry every site registers
+	// into (one label set per site), served by ServeAdmin at /metrics.
+	Metrics *metrics.Registry
+}
+
+// ServeAdmin starts the observability HTTP endpoint (/metrics, /healthz,
+// /debug/fragment) for the whole simulated cluster on addr (":0" picks a
+// free port) and returns the admin handle plus the bound address.
+func (c *Cluster) ServeAdmin(addr string) (*service.Admin, string, error) {
+	a := service.NewAdmin(c.Metrics)
+	for _, name := range c.Assign.Sites() {
+		a.AddSite(c.Sites[name])
+	}
+	bound, err := a.Serve(addr)
+	if err != nil {
+		return nil, "", err
+	}
+	return a, bound, nil
 }
 
 // New builds, loads and starts a cluster with the given architecture.
@@ -135,6 +154,7 @@ func New(arch Architecture, cfg Config) (*Cluster, error) {
 		Sites:    map[string]*site.Site{},
 		DB:       db,
 		Assign:   assign,
+		Metrics:  metrics.NewRegistry(),
 	}
 
 	stores, owned, err := fragment.Partition(db.Doc, assign)
@@ -164,6 +184,7 @@ func New(arch Architecture, cfg Config) (*Cluster, error) {
 		if err := s.Start(); err != nil {
 			return nil, err
 		}
+		s.Register(c.Metrics)
 		c.Sites[name] = s
 	}
 	c.Registry.RegisterSubtree(db.Doc, workload.Service, assign.OwnerOf)
@@ -248,6 +269,7 @@ func BalancedSkewCluster(cfg Config, hotCity, hotNB int) (*Cluster, error) {
 		Sites:    map[string]*site.Site{},
 		DB:       db,
 		Assign:   assign,
+		Metrics:  metrics.NewRegistry(),
 	}
 	stores, owned, err := fragment.Partition(db.Doc, assign)
 	if err != nil {
@@ -266,6 +288,7 @@ func BalancedSkewCluster(cfg Config, hotCity, hotNB int) (*Cluster, error) {
 		if err := s.Start(); err != nil {
 			return nil, err
 		}
+		s.Register(c.Metrics)
 		c.Sites[name] = s
 	}
 	c.Registry.RegisterSubtree(db.Doc, workload.Service, assign.OwnerOf)

@@ -71,6 +71,9 @@ type LoadOpts struct {
 	WarmPool int
 	// Seed bases the per-client RNG seeds.
 	Seed int64
+	// Trace enables distributed tracing on every query the clients issue
+	// (spans are assembled and discarded), for measuring tracing overhead.
+	Trace bool
 }
 
 // RunLoad drives concurrent closed-loop clients against the cluster.
@@ -94,6 +97,7 @@ func (c *Cluster) RunLoad(opts LoadOpts) LoadResult {
 		go func(id int) {
 			defer wg.Done()
 			fe := c.NewFrontend()
+			fe.Trace = opts.Trace
 			for !stop.Load() {
 				q := stream.next(id)
 				t0 := time.Now()

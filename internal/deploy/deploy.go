@@ -8,11 +8,13 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"time"
 
 	"irisnet/internal/fragment"
+	"irisnet/internal/metrics"
 	"irisnet/internal/naming"
 	"irisnet/internal/service"
 	"irisnet/internal/site"
@@ -201,18 +203,35 @@ type SiteOptions struct {
 	Caching bool
 	// Schema overrides the inferred schema.
 	Schema *xpath.Schema
+	// AdminAddr, when non-empty, serves the observability endpoint
+	// (/metrics, /healthz, /debug/fragment) on this host:port (":0" picks
+	// a free port; see Node.AdminAddr for the bound address).
+	AdminAddr string
+	// Logger receives the site's structured logs; nil disables them.
+	Logger *slog.Logger
 }
 
 // Node is a running deployment member.
 type Node struct {
-	Site     *site.Site
-	Net      *transport.TCPNet
-	stopReg  func()
-	registry naming.Store
+	Site *site.Site
+	Net  *transport.TCPNet
+	// Metrics is the node's registry, serving /metrics when AdminAddr set.
+	Metrics *metrics.Registry
+	// Admin is the observability endpoint (nil unless AdminAddr was set).
+	Admin *service.Admin
+	// AdminAddr is the bound admin address ("" when disabled).
+	AdminAddr string
+	stopReg   func()
+	registry  naming.Store
 }
 
 // Stop shuts the node down.
 func (n *Node) Stop() {
+	if n.Admin != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_ = n.Admin.Shutdown(ctx)
+		cancel()
+	}
 	n.Site.Stop()
 	if n.stopReg != nil {
 		n.stopReg()
@@ -269,6 +288,7 @@ func StartSite(t *Topology, name string, opts SiteOptions) (*Node, error) {
 		Schema:   schema,
 		Caching:  opts.Caching,
 		CPUSlots: 4,
+		Logger:   opts.Logger,
 	}, doc.Name, doc.ID())
 	store, okStore := stores[name]
 	if !okStore {
@@ -279,6 +299,23 @@ func StartSite(t *Topology, name string, opts SiteOptions) (*Node, error) {
 		return nil, err
 	}
 	node.Site = s
+
+	node.Metrics = metrics.NewRegistry()
+	s.Register(node.Metrics)
+	if opts.AdminAddr != "" {
+		admin := service.NewAdmin(node.Metrics)
+		admin.AddSite(s)
+		bound, err := admin.Serve(opts.AdminAddr)
+		if err != nil {
+			s.Stop()
+			if node.stopReg != nil {
+				node.stopReg()
+			}
+			return nil, fmt.Errorf("deploy: admin endpoint: %w", err)
+		}
+		node.Admin = admin
+		node.AdminAddr = bound
+	}
 	return node, nil
 }
 

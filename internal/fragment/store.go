@@ -435,5 +435,18 @@ func (s *Store) EvictSubtree(p xmldb.IDPath) error {
 // Size returns the number of element nodes stored.
 func (s *Store) Size() int { return s.Root.CountNodes() }
 
+// CachedCount returns the number of complete (cached, non-owned) IDable
+// nodes in the store — the cache-occupancy figure exposed over /metrics.
+func (s *Store) CachedCount() int {
+	n := 0
+	s.Root.Walk(func(x *xmldb.Node) bool {
+		if StatusOf(x) == StatusComplete {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
 // Clone returns a deep copy of the store, for snapshotting in tests.
 func (s *Store) Clone() *Store { return &Store{Root: s.Root.Clone()} }

@@ -29,10 +29,15 @@ func (c *Counter) Value() int64 { return c.v.Load() }
 
 // Histogram records durations and reports quantiles. It keeps raw samples
 // (bounded) under a mutex; benchmark workloads are tens of thousands of
-// samples, well within reason.
+// samples, well within reason. Quantiles do not depend on sample order, so
+// the slice is sorted in place lazily: the first Quantile after new
+// observations sorts once, and every further quantile of the same report
+// (p50/p90/p99 per scrape) reuses the sorted state instead of copying and
+// re-sorting the whole slice per call.
 type Histogram struct {
 	mu      sync.Mutex
 	samples []time.Duration
+	sorted  bool // samples are currently in ascending order
 	limit   int
 	count   int64
 	sum     time.Duration
@@ -45,7 +50,7 @@ func NewHistogram(limit int) *Histogram {
 	if limit <= 0 {
 		limit = 1 << 20
 	}
-	return &Histogram{limit: limit}
+	return &Histogram{limit: limit, sorted: true}
 }
 
 // Observe records one duration.
@@ -55,6 +60,11 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.count++
 	h.sum += d
 	if len(h.samples) < h.limit {
+		// Appending in ascending order (common for ramp-up patterns) keeps
+		// the sorted flag; anything else invalidates it until next Quantile.
+		if h.sorted && len(h.samples) > 0 && d < h.samples[len(h.samples)-1] {
+			h.sorted = false
+		}
 		h.samples = append(h.samples, d)
 	}
 }
@@ -77,23 +87,35 @@ func (h *Histogram) Mean() time.Duration {
 }
 
 // Quantile returns the q-quantile (0 <= q <= 1) over retained samples.
+// Sample order carries no meaning, so the slice is sorted in place at most
+// once per batch of observations (O(n log n) amortized over a whole
+// report, not per quantile).
 func (h *Histogram) Quantile(q float64) time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if len(h.samples) == 0 {
 		return 0
 	}
-	sorted := make([]time.Duration, len(h.samples))
-	copy(sorted, h.samples)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+	idx := int(math.Ceil(q*float64(len(h.samples)))) - 1
 	if idx < 0 {
 		idx = 0
 	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
+	if idx >= len(h.samples) {
+		idx = len(h.samples) - 1
 	}
-	return sorted[idx]
+	return h.samples[idx]
+}
+
+// Sum returns the total of all observations (including past the retention
+// limit).
+func (h *Histogram) Sum() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
 }
 
 // Breakdown accumulates named stage durations, reproducing the Figure 11

@@ -1,0 +1,115 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"irisnet/internal/metrics"
+	"irisnet/internal/site"
+)
+
+// Admin is the HTTP observability surface of a running irisnetd (or of a
+// whole simulated cluster, which hosts many sites in one process):
+//
+//	/metrics         Prometheus text exposition of the metrics registry
+//	/healthz         200 while serving, 503 once shutdown has begun
+//	/debug/fragment  per-site JSON: owned paths, store size, cache
+//	                 occupancy, and the migration forwarding table
+type Admin struct {
+	registry *metrics.Registry
+
+	mu    sync.Mutex
+	sites []*site.Site
+
+	down atomic.Bool
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// NewAdmin creates an admin surface over the given registry.
+func NewAdmin(reg *metrics.Registry) *Admin {
+	return &Admin{registry: reg}
+}
+
+// AddSite exposes a site on /debug/fragment (and nothing else: metric
+// registration stays explicit via site.Register, so callers control label
+// sets).
+func (a *Admin) AddSite(s *site.Site) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.sites = append(a.sites, s)
+}
+
+// Handler returns the admin mux (exposed for httptest and embedding).
+func (a *Admin) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", a.handleMetrics)
+	mux.HandleFunc("/healthz", a.handleHealthz)
+	mux.HandleFunc("/debug/fragment", a.handleFragment)
+	return mux
+}
+
+func (a *Admin) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = a.registry.WritePrometheus(w)
+}
+
+func (a *Admin) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if a.down.Load() {
+		http.Error(w, "shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+func (a *Admin) handleFragment(w http.ResponseWriter, _ *http.Request) {
+	a.mu.Lock()
+	sites := make([]*site.Site, len(a.sites))
+	copy(sites, a.sites)
+	a.mu.Unlock()
+	out := make([]site.DebugInfo, 0, len(sites))
+	for _, s := range sites {
+		out = append(out, s.Debug())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
+}
+
+// Serve starts the admin server on addr (":0" picks a free port) and
+// returns the bound address. The server runs until Shutdown.
+func (a *Admin) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	a.ln = ln
+	a.srv = &http.Server{Handler: a.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = a.srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// BeginShutdown flips /healthz to 503 without stopping the server, so load
+// balancers drain the instance while /metrics stays scrapeable.
+func (a *Admin) BeginShutdown() { a.down.Store(true) }
+
+// Healthy reports the current /healthz state.
+func (a *Admin) Healthy() bool { return !a.down.Load() }
+
+// Shutdown marks the instance unhealthy and stops the HTTP server.
+func (a *Admin) Shutdown(ctx context.Context) error {
+	a.BeginShutdown()
+	if a.srv == nil {
+		return nil
+	}
+	return a.srv.Shutdown(ctx)
+}

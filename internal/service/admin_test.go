@@ -1,0 +1,136 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"irisnet/internal/metrics"
+)
+
+func adminGet(t *testing.T, srv *httptest.Server, path string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+// TestMetricsEndpointExposition: /metrics serves parseable Prometheus text,
+// and two sites' identically named counters in one process stay distinct
+// series (keyed by the site label).
+func TestMetricsEndpointExposition(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("irisnet_queries_total", "Queries served.", metrics.Labels{"site": "alpha"}).Add(4)
+	reg.Counter("irisnet_queries_total", "Queries served.", metrics.Labels{"site": "beta"}).Add(9)
+	a := NewAdmin(reg)
+	srv := httptest.NewServer(a.Handler())
+	defer srv.Close()
+
+	resp, body := adminGet(t, srv, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type %q is not Prometheus text 0.0.4", ct)
+	}
+	values := map[string]float64{}
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if line == "" {
+			t.Fatal("blank line in exposition")
+		}
+		if strings.HasPrefix(line, "#") {
+			if !strings.HasPrefix(line, "# HELP ") && !strings.HasPrefix(line, "# TYPE ") {
+				t.Fatalf("bad comment line %q", line)
+			}
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("sample line %q has no value", line)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			t.Fatalf("sample %q: bad value: %v", line, err)
+		}
+		values[name] = f
+	}
+	if values[`irisnet_queries_total{site="alpha"}`] != 4 {
+		t.Fatalf("alpha series wrong: %v", values)
+	}
+	if values[`irisnet_queries_total{site="beta"}`] != 9 {
+		t.Fatalf("beta series wrong: %v", values)
+	}
+}
+
+// TestHealthzFlipsOnShutdown: /healthz answers 200 while serving and 503
+// once shutdown begins, while /metrics stays scrapeable.
+func TestHealthzFlipsOnShutdown(t *testing.T) {
+	a := NewAdmin(metrics.NewRegistry())
+	srv := httptest.NewServer(a.Handler())
+	defer srv.Close()
+
+	resp, body := adminGet(t, srv, "/healthz")
+	if resp.StatusCode != http.StatusOK || body != "ok\n" {
+		t.Fatalf("healthy: status %d body %q", resp.StatusCode, body)
+	}
+	a.BeginShutdown()
+	resp, _ = adminGet(t, srv, "/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("after BeginShutdown: status %d, want 503", resp.StatusCode)
+	}
+	if resp, _ := adminGet(t, srv, "/metrics"); resp.StatusCode != http.StatusOK {
+		t.Fatal("/metrics stopped serving during drain")
+	}
+}
+
+// TestAdminServeAndShutdown: Serve binds ":0", the bound address answers,
+// and Shutdown stops the listener.
+func TestAdminServeAndShutdown(t *testing.T) {
+	a := NewAdmin(metrics.NewRegistry())
+	addr, err := a.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz on bound addr: %d", resp.StatusCode)
+	}
+	if err := a.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("server still answering after Shutdown")
+	}
+}
+
+// TestDebugFragmentEmpty: with no sites attached the endpoint still returns
+// a valid JSON array.
+func TestDebugFragmentEmpty(t *testing.T) {
+	a := NewAdmin(metrics.NewRegistry())
+	srv := httptest.NewServer(a.Handler())
+	defer srv.Close()
+	resp, body := adminGet(t, srv, "/debug/fragment")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/fragment status %d", resp.StatusCode)
+	}
+	var v []json.RawMessage
+	if err := json.Unmarshal([]byte(body), &v); err != nil {
+		t.Fatalf("not a JSON array: %v\n%s", err, body)
+	}
+}

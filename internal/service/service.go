@@ -14,6 +14,7 @@ import (
 	"irisnet/internal/naming"
 	"irisnet/internal/qeg"
 	"irisnet/internal/site"
+	"irisnet/internal/trace"
 	"irisnet/internal/transport"
 	"irisnet/internal/xmldb"
 )
@@ -37,6 +38,12 @@ type Frontend struct {
 	// Retry shapes the retry loop around the entry-site call; the zero
 	// value uses the transport defaults.
 	Retry transport.RetryPolicy
+	// Trace stamps a fresh TraceID on every query this frontend issues, so
+	// each hop records a span. The assembled trace tree is returned by
+	// QueryTrace; the other query methods discard it. Used directly by the
+	// trace-overhead benchmark, which measures tracing cost without
+	// inspecting the trees.
+	Trace bool
 
 	callOnce sync.Once
 	call     *transport.Caller
@@ -121,17 +128,31 @@ func (f *Frontend) QueryContext(ctx context.Context, query string) ([]*xmldb.Nod
 }
 
 // QueryFull runs the query end to end and reports partial-answer
-// information alongside the selected subtrees.
+// information alongside the selected subtrees. Tracing follows f.Trace;
+// the span (if any) is discarded — use QueryTrace to see it.
 func (f *Frontend) QueryFull(ctx context.Context, query string) (*Answer, error) {
-	frag, reported, err := f.queryFragment(ctx, query)
+	ans, _, err := f.queryTraced(ctx, query, f.Trace)
+	return ans, err
+}
+
+// QueryTrace runs the query with distributed tracing forced on and returns
+// the assembled trace tree alongside the answer: one span per hop, rooted
+// at the entry site, children in gather order (`irisquery -trace`). The
+// span is nil only when the query failed outright.
+func (f *Frontend) QueryTrace(ctx context.Context, query string) (*Answer, *trace.Span, error) {
+	return f.queryTraced(ctx, query, true)
+}
+
+func (f *Frontend) queryTraced(ctx context.Context, query string, traced bool) (*Answer, *trace.Span, error) {
+	frag, reported, span, err := f.queryFragment(ctx, query, traced)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	nodes, marked, err := qeg.ExtractAnswerFull(frag, query, f.Clock, qeg.ExtractOptions{})
 	if err != nil {
-		return nil, err
+		return nil, span, err
 	}
-	return &Answer{Nodes: nodes, Unreachable: mergePaths(reported, marked)}, nil
+	return &Answer{Nodes: nodes, Unreachable: mergePaths(reported, marked)}, span, nil
 }
 
 // QueryFragment runs the query and returns the raw assembled answer
@@ -142,35 +163,38 @@ func (f *Frontend) QueryFragment(query string) (*xmldb.Node, error) {
 
 // QueryFragmentContext is QueryFragment with a caller-supplied context.
 func (f *Frontend) QueryFragmentContext(ctx context.Context, query string) (*xmldb.Node, error) {
-	frag, _, err := f.queryFragment(ctx, query)
+	frag, _, _, err := f.queryFragment(ctx, query, f.Trace)
 	return frag, err
 }
 
-func (f *Frontend) queryFragment(ctx context.Context, query string) (*xmldb.Node, []string, error) {
+func (f *Frontend) queryFragment(ctx context.Context, query string, traced bool) (*xmldb.Node, []string, *trace.Span, error) {
 	entry, _, err := f.RouteOf(query)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	ctx, cancel := f.withDeadline(ctx)
 	defer cancel()
 	msg := &site.Message{Kind: site.KindQuery, Query: query}
+	if traced {
+		msg.TraceID = trace.NewTraceID()
+	}
 	msg.StampDeadline(ctx)
 	respB, err := f.caller().Call(ctx, entry, msg.Encode())
 	if err != nil {
-		return nil, nil, fmt.Errorf("service: query to %s: %w", entry, err)
+		return nil, nil, nil, fmt.Errorf("service: query to %s: %w", entry, err)
 	}
 	resp, err := site.DecodeMessage(respB)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if e := resp.AsError(); e != nil {
-		return nil, nil, e
+		return nil, nil, nil, e
 	}
 	frag, err := xmldb.ParseString(resp.Fragment)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, resp.Span, err
 	}
-	return frag, resp.Unreachable, nil
+	return frag, resp.Unreachable, resp.Span, nil
 }
 
 // mergePaths unions two sorted-ish path lists, preserving first-seen order.

@@ -1,0 +1,16 @@
+package site
+
+import (
+	"context"
+	"log/slog"
+)
+
+// noopHandler is the disabled default for Config.Logger: Enabled always
+// says no, so call sites pay a single interface call and no formatting.
+// (slog.DiscardHandler only exists from Go 1.24; the module targets 1.22.)
+type noopHandler struct{}
+
+func (noopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (noopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (noopHandler) WithAttrs([]slog.Attr) slog.Handler        { return noopHandler{} }
+func (noopHandler) WithGroup(string) slog.Handler             { return noopHandler{} }

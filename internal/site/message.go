@@ -9,6 +9,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"time"
+
+	"irisnet/internal/trace"
 )
 
 // Message kinds.
@@ -45,6 +47,13 @@ type Message struct {
 	// Unreachable lists the ID paths of subtrees a partial answer could not
 	// cover because their owners did not respond in time (KindResult only).
 	Unreachable []string `json:"unreachable,omitempty"`
+	// TraceID, when set on a query, enables distributed tracing for it: the
+	// ID propagates to every subquery and forward, each hop records a span,
+	// and the spans return up the gather path (KindQuery/KindUpdate).
+	TraceID string `json:"traceId,omitempty"`
+	// Span is this hop's span with its children attached (KindResult only,
+	// present iff the request carried a TraceID).
+	Span *trace.Span `json:"span,omitempty"`
 }
 
 // Deadline converts DeadlineMS back to a time; ok is false when unset.

@@ -3,6 +3,7 @@ package site
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sort"
 	"strings"
 
@@ -95,6 +96,9 @@ func (s *Site) Delegate(path xmldb.IDPath, newOwner string) error {
 			s.cfg.Registry.Set(naming.DNSName(p, s.cfg.Service), newOwner)
 		}
 	}
+	s.log.LogAttrs(context.Background(), slog.LevelInfo, "ownership delegated",
+		slog.String("path", path.String()), slog.String("to", newOwner),
+		slog.Int("nodes", len(transfer)))
 	return nil
 }
 

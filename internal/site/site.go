@@ -3,6 +3,7 @@ package site
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"irisnet/internal/metrics"
 	"irisnet/internal/naming"
 	"irisnet/internal/qeg"
+	"irisnet/internal/trace"
 	"irisnet/internal/transport"
 	"irisnet/internal/xmldb"
 	"irisnet/internal/xpath"
@@ -68,6 +70,10 @@ type Config struct {
 	// Retry shapes the retry loop around those attempts; the zero value
 	// uses the transport defaults (3 attempts, exponential backoff).
 	Retry transport.RetryPolicy
+	// Logger receives structured logs (log/slog) correlated by trace ID.
+	// Nil disables logging; the benchmark harness leaves it nil so the hot
+	// path pays only a disabled-handler check.
+	Logger *slog.Logger
 }
 
 // Metrics exposes a site's counters to the harness.
@@ -76,6 +82,7 @@ type Metrics struct {
 	Subqueries     metrics.Counter // subqueries this site issued
 	Updates        metrics.Counter // sensor updates applied
 	CacheHits      metrics.Counter // queries fully answered locally
+	CacheMisses    metrics.Counter // queries that had to issue subqueries
 	Forwards       metrics.Counter // updates forwarded after migration
 	Retries        metrics.Counter // network attempts retried after failure
 	DeadlineHits   metrics.Counter // attempts that timed out
@@ -83,9 +90,32 @@ type Metrics struct {
 	Breakdown      *metrics.Breakdown
 }
 
+// Register registers every counter under the site label, plus live gauges
+// for cache occupancy, into a metrics registry for /metrics exposition.
+func (s *Site) Register(r *metrics.Registry) {
+	l := metrics.Labels{"site": s.cfg.Name}
+	m := &s.Metrics
+	r.RegisterCounter("irisnet_queries_total", "Queries and subqueries served.", l, &m.Queries)
+	r.RegisterCounter("irisnet_subqueries_total", "Subqueries issued to other sites.", l, &m.Subqueries)
+	r.RegisterCounter("irisnet_updates_total", "Sensor updates applied.", l, &m.Updates)
+	r.RegisterCounter("irisnet_cache_hits_total", "Queries fully answered from local/cached data.", l, &m.CacheHits)
+	r.RegisterCounter("irisnet_cache_misses_total", "Queries that had to issue subqueries.", l, &m.CacheMisses)
+	r.RegisterCounter("irisnet_forwards_total", "Messages forwarded after an ownership migration.", l, &m.Forwards)
+	r.RegisterCounter("irisnet_retries_total", "Network attempts retried after failure.", l, &m.Retries)
+	r.RegisterCounter("irisnet_deadline_hits_total", "Network attempts that ran into a deadline.", l, &m.DeadlineHits)
+	r.RegisterCounter("irisnet_partial_answers_total", "Results returned with unreachable subtrees.", l, &m.PartialAnswers)
+	r.GaugeFunc("irisnet_store_nodes", "Element nodes in the site database.", l,
+		func() float64 { return float64(s.StoreSize()) })
+	r.GaugeFunc("irisnet_cached_fragments", "Complete (cached, non-owned) IDable nodes in the store.", l,
+		func() float64 { return float64(s.CachedFragments()) })
+	r.GaugeFunc("irisnet_owned_nodes", "IDable nodes this site owns.", l,
+		func() float64 { return float64(s.ownedCount()) })
+}
+
 // Site is one organizing agent.
 type Site struct {
 	cfg      Config
+	log      *slog.Logger
 	cpu      *transport.CPU
 	compiler *qeg.Compiler
 	call     *transport.Caller
@@ -103,8 +133,13 @@ func New(cfg Config, rootName, rootID string) *Site {
 	if cfg.Clock == nil {
 		cfg.Clock = func() float64 { return float64(time.Now().UnixNano()) / 1e9 }
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(noopHandler{})
+	}
+	cfg.Logger = cfg.Logger.With("site", cfg.Name)
 	s := &Site{
 		cfg:      cfg,
+		log:      cfg.Logger,
 		cpu:      transport.NewCPU(cfg.CPUSlots),
 		compiler: qeg.NewCompiler(cfg.Schema, cfg.NaivePlans),
 		store:    fragment.NewStore(rootName, rootID),
@@ -164,6 +199,60 @@ func (s *Site) OwnedPaths() []string {
 	return out
 }
 
+// StoreSize returns the number of element nodes in the site database.
+func (s *Site) StoreSize() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.store.Size()
+}
+
+// CachedFragments returns the number of complete, non-owned IDable nodes in
+// the store — the cache occupancy /metrics and /debug/fragment report.
+func (s *Site) CachedFragments() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.store.CachedCount()
+}
+
+func (s *Site) ownedCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.owned)
+}
+
+// DebugInfo is the /debug/fragment view of one site: what it owns, how big
+// its store is, how much of it is cache, and where migrated subtrees went.
+type DebugInfo struct {
+	Site            string            `json:"site"`
+	StoreNodes      int               `json:"storeNodes"`
+	CachedFragments int               `json:"cachedFragments"`
+	Owned           []string          `json:"owned"`
+	Forwarding      map[string]string `json:"forwarding,omitempty"`
+}
+
+// Debug snapshots the site's observability view under the store lock.
+func (s *Site) Debug() DebugInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d := DebugInfo{
+		Site:            s.cfg.Name,
+		StoreNodes:      s.store.Size(),
+		CachedFragments: s.store.CachedCount(),
+		Owned:           make([]string, 0, len(s.owned)),
+	}
+	for k := range s.owned {
+		d.Owned = append(d.Owned, k)
+	}
+	sort.Strings(d.Owned)
+	if len(s.migrated) > 0 {
+		d.Forwarding = make(map[string]string, len(s.migrated))
+		for k, v := range s.migrated {
+			d.Forwarding[k] = v
+		}
+	}
+	return d
+}
+
 // Owns reports whether the site currently owns the node.
 func (s *Site) Owns(p xmldb.IDPath) bool {
 	s.mu.RLock()
@@ -189,7 +278,7 @@ func (s *Site) Handle(ctx context.Context, payload []byte) ([]byte, error) {
 	}
 	switch msg.Kind {
 	case KindQuery:
-		resp = s.handleQuery(ctx, msg)
+		resp = s.handleQuery(ctx, msg, len(payload))
 	case KindUpdate:
 		resp = s.handleUpdate(ctx, msg)
 	case KindDelegate:
@@ -209,12 +298,23 @@ func (s *Site) Handle(ctx context.Context, payload []byte) ([]byte, error) {
 // Subquery failures do not fail the query: the affected subtree is spliced
 // in as an unreachable placeholder and listed in the result's Unreachable
 // paths (partial answers).
-func (s *Site) handleQuery(ctx context.Context, msg *Message) *Message {
+func (s *Site) handleQuery(ctx context.Context, msg *Message, reqBytes int) *Message {
+	// Tracing: a TraceID on the query makes this hop record a span. The
+	// per-hop retry/deadline tallies ride in the context so concurrent
+	// queries do not race on the site-wide counters.
+	var span *trace.Span
+	var stats *transport.CallStats
+	if msg.TraceID != "" {
+		span = &trace.Span{TraceID: msg.TraceID, Site: s.cfg.Name, Query: msg.Query, Op: "query", BytesIn: reqBytes}
+		ctx, stats = transport.WithCallStats(ctx)
+	}
+
 	// Stale-DNS forwarding (Section 4): if the query targets a subtree this
 	// site delegated away, pass it to the new owner rather than serving a
 	// stale copy — the old owner "has the correct DNS entry in its cache".
 	if to, ok := s.forwardTarget(msg.Query); ok {
 		s.Metrics.Forwards.Inc()
+		t0 := time.Now()
 		msg.StampDeadline(ctx)
 		respB, err := s.call.Call(ctx, to, msg.Encode())
 		if err != nil {
@@ -223,6 +323,18 @@ func (s *Site) handleQuery(ctx context.Context, msg *Message) *Message {
 		resp, err := DecodeMessage(respB)
 		if err != nil {
 			return errorMessage(err)
+		}
+		s.log.LogAttrs(ctx, slog.LevelDebug, "query forwarded",
+			slog.String("trace_id", msg.TraceID), slog.String("to", to),
+			slog.Duration("dur", time.Since(t0)))
+		if span != nil {
+			span.Op = "forward"
+			span.DurationUS = time.Since(t0).Microseconds()
+			finishSpan(span, stats)
+			if resp.Span != nil {
+				span.Children = append(span.Children, resp.Span)
+			}
+			resp.Span = span
 		}
 		return resp
 	}
@@ -236,7 +348,8 @@ func (s *Site) handleQuery(ctx context.Context, msg *Message) *Message {
 	s.cpu.Do(func() {
 		plans, planErr = s.compiler.Compile(msg.Query)
 	})
-	s.Metrics.Breakdown.Add("create-plan", time.Since(t0))
+	planTime := time.Since(t0)
+	s.Metrics.Breakdown.Add("create-plan", planTime)
 	if planErr != nil {
 		return errorMessage(planErr)
 	}
@@ -246,6 +359,7 @@ func (s *Site) handleQuery(ctx context.Context, msg *Message) *Message {
 	seen := map[string]bool{}
 	unreachable := map[string]bool{}
 	askedAny := false
+	fanout := 0
 
 	var execTime, commTime time.Duration
 	for _, plan := range plans {
@@ -300,22 +414,31 @@ func (s *Site) handleQuery(ctx context.Context, msg *Message) *Message {
 				break
 			}
 			askedAny = true
+			fanout += len(fresh)
 			// Subqueries address disjoint parts of the hierarchy; fetch
 			// them concurrently (the splice itself stays serialized).
 			tc := time.Now()
 			subs := make([]*xmldb.Node, len(fresh))
 			downs := make([][]string, len(fresh))
+			kids := make([]*trace.Span, len(fresh))
 			errs := make([]error, len(fresh))
 			var wg sync.WaitGroup
 			for i, sq := range fresh {
 				wg.Add(1)
 				go func(i int, sq qeg.Subquery) {
 					defer wg.Done()
-					subs[i], downs[i], errs[i] = s.fetchSubquery(ctx, sq)
+					subs[i], downs[i], kids[i], errs[i] = s.fetchSubquery(ctx, sq, msg.TraceID)
 				}(i, sq)
 			}
 			wg.Wait()
 			commTime += time.Since(tc)
+			if span != nil {
+				for _, k := range kids {
+					if k != nil {
+						span.Children = append(span.Children, k)
+					}
+				}
+			}
 			for i, sub := range subs {
 				if errs[i] != nil {
 					// Partial answer: the target's owner did not respond
@@ -372,6 +495,8 @@ func (s *Site) handleQuery(ctx context.Context, msg *Message) *Message {
 	}
 	if !askedAny {
 		s.Metrics.CacheHits.Inc()
+	} else {
+		s.Metrics.CacheMisses.Inc()
 	}
 	s.Metrics.Breakdown.Add("execute-qeg", execTime)
 	s.Metrics.Breakdown.Add("communication", commTime)
@@ -391,7 +516,33 @@ func (s *Site) handleQuery(ctx context.Context, msg *Message) *Message {
 		}
 		sort.Strings(res.Unreachable)
 	}
+	if span != nil {
+		span.DurationUS = total.Microseconds()
+		span.AddStage("create-plan", planTime)
+		span.AddStage("execute-qeg", execTime)
+		span.AddStage("communication", commTime)
+		span.AddStage("rest", total-execTime-commTime)
+		span.CacheHit = !askedAny
+		span.Subqueries = fanout
+		span.BytesOut = len(out)
+		span.Partial = len(res.Unreachable) > 0
+		span.Unreachable = res.Unreachable
+		finishSpan(span, stats)
+		res.Span = span
+	}
+	s.log.LogAttrs(ctx, slog.LevelDebug, "query served",
+		slog.String("trace_id", msg.TraceID), slog.Duration("dur", total),
+		slog.Bool("cache_hit", !askedAny), slog.Int("fanout", fanout),
+		slog.Int("unreachable", len(res.Unreachable)))
 	return res
+}
+
+// finishSpan folds the context-scoped resilience tallies into the span.
+func finishSpan(span *trace.Span, stats *transport.CallStats) {
+	if stats != nil {
+		span.Retries = stats.Retries.Load()
+		span.DeadlineHits = stats.DeadlineHits.Load()
+	}
 }
 
 // markUnreachable splices an unreachable placeholder for the path into the
@@ -410,27 +561,39 @@ func (s *Site) markUnreachable(ans *fragment.Store, set map[string]bool, p xmldb
 
 // fetchSubquery routes one subquery to the owner of its target node,
 // retrying transient failures within the context's deadline. It returns the
-// answer fragment plus the remote site's own unreachable-path list (partial
-// answers compose across hops). CPU is consumed for encode/decode; the
-// network wait itself is not billed to this site's capacity.
-func (s *Site) fetchSubquery(ctx context.Context, sq qeg.Subquery) (*xmldb.Node, []string, error) {
+// answer fragment, the remote site's own unreachable-path list (partial
+// answers compose across hops), and — when traceID is set — the remote
+// hop's span (a synthetic error span when the fetch failed, so the trace
+// tree still shows where a partial answer lost its subtree). CPU is
+// consumed for encode/decode; the network wait itself is not billed to
+// this site's capacity.
+func (s *Site) fetchSubquery(ctx context.Context, sq qeg.Subquery, traceID string) (*xmldb.Node, []string, *trace.Span, error) {
 	s.Metrics.Subqueries.Inc()
+	errSpan := func(site string, err error) *trace.Span {
+		if traceID == "" {
+			return nil
+		}
+		return &trace.Span{TraceID: traceID, Site: site, Query: sq.Query, Op: "query", Error: err.Error()}
+	}
 	owner, err := s.cfg.DNS.Resolve(sq.Target)
 	if err != nil {
-		return nil, nil, fmt.Errorf("site %s: resolving %s: %w", s.cfg.Name, sq.Target, err)
+		err = fmt.Errorf("site %s: resolving %s: %w", s.cfg.Name, sq.Target, err)
+		return nil, nil, errSpan(sq.Target.String(), err), err
 	}
 	var payload []byte
 	s.cpu.Do(func() {
-		m := &Message{Kind: KindQuery, Query: sq.Query}
+		m := &Message{Kind: KindQuery, Query: sq.Query, TraceID: traceID}
 		m.StampDeadline(ctx)
 		payload = m.Encode()
 	})
 	respB, err := s.call.Call(ctx, owner, payload)
 	if err != nil {
-		return nil, nil, fmt.Errorf("site %s: calling %s: %w", s.cfg.Name, owner, err)
+		err = fmt.Errorf("site %s: calling %s: %w", s.cfg.Name, owner, err)
+		return nil, nil, errSpan(owner, err), err
 	}
 	var frag *xmldb.Node
 	var unreachable []string
+	var childSpan *trace.Span
 	var derr error
 	s.cpu.Do(func() {
 		var resp *Message
@@ -443,12 +606,14 @@ func (s *Site) fetchSubquery(ctx context.Context, sq qeg.Subquery) (*xmldb.Node,
 			return
 		}
 		unreachable = resp.Unreachable
+		childSpan = resp.Span
 		frag, derr = xmldb.ParseString(resp.Fragment)
 	})
 	if derr != nil {
-		return nil, nil, fmt.Errorf("site %s: subanswer from %s: %w", s.cfg.Name, owner, derr)
+		derr = fmt.Errorf("site %s: subanswer from %s: %w", s.cfg.Name, owner, derr)
+		return nil, nil, errSpan(owner, derr), derr
 	}
-	return frag, unreachable, nil
+	return frag, unreachable, childSpan, nil
 }
 
 // handleUpdate applies a sensor update to an owned node, stamping it with
@@ -486,6 +651,8 @@ func (s *Site) handleUpdate(ctx context.Context, msg *Message) *Message {
 	if !ok || owner == s.cfg.Name {
 		return errorMessage(fmt.Errorf("site %s: update for unowned node %s with no forwarding target", s.cfg.Name, p))
 	}
+	s.log.LogAttrs(ctx, slog.LevelDebug, "update forwarded",
+		slog.String("trace_id", msg.TraceID), slog.String("path", msg.Path), slog.String("to", owner))
 	msg.StampDeadline(ctx)
 	respB, err := s.call.Call(ctx, owner, msg.Encode())
 	if err != nil {

@@ -1,0 +1,222 @@
+// Package trace implements distributed query tracing for the OA
+// federation: every query carries a TraceID in the site.Message envelope,
+// each site records one span per hop (stage timings from the QEG loop,
+// cache hit/miss, subquery fan-out, retries, bytes moved, partial-answer
+// markers), and child spans return up the gather path so the frontend
+// assembles the complete trace tree. The rendered tree is the EXPLAIN-style
+// output of `irisquery -trace`.
+package trace
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// NewTraceID returns a 16-hex-character random trace identifier.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a zero ID would
+		// silently merge unrelated traces, so fail loudly.
+		panic(fmt.Sprintf("trace: reading randomness: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Stage is one named phase of a hop (the QEG stages: create-plan,
+// execute-qeg, communication, rest) with its duration in microseconds.
+type Stage struct {
+	Name   string `json:"name"`
+	Micros int64  `json:"us"`
+}
+
+// Span records what one site did for one hop of a traced query. Spans are
+// JSON-encoded into the site.Message envelope, so wire compatibility is
+// part of their contract; all durations travel as integer microseconds.
+type Span struct {
+	// TraceID ties every span of one query together.
+	TraceID string `json:"traceId"`
+	// Site is the organizing agent that produced the span.
+	Site string `json:"site"`
+	// Query is the (sub)query this hop evaluated.
+	Query string `json:"query,omitempty"`
+	// Op distinguishes hop kinds: "query", "forward" (stale-DNS pass-on
+	// after a migration), or "subquery" target markers.
+	Op string `json:"op,omitempty"`
+	// DurationUS is the hop's wall time at its site, in microseconds.
+	DurationUS int64 `json:"durUs"`
+	// Stages carries the per-stage breakdown in loop order.
+	Stages []Stage `json:"stages,omitempty"`
+	// CacheHit is true when the hop answered entirely from local/cached
+	// data (no subqueries issued).
+	CacheHit bool `json:"cacheHit,omitempty"`
+	// Subqueries is the number of subqueries this hop issued (fan-out).
+	Subqueries int `json:"subqueries,omitempty"`
+	// Retries counts network attempts this hop retried after failures.
+	Retries int64 `json:"retries,omitempty"`
+	// DeadlineHits counts attempts that ended at a deadline this hop.
+	DeadlineHits int64 `json:"deadlineHits,omitempty"`
+	// BytesIn is the size of the request payload that reached this site.
+	BytesIn int `json:"bytesIn,omitempty"`
+	// BytesOut is the size of the answer fragment this hop returned.
+	BytesOut int `json:"bytesOut,omitempty"`
+	// Partial is true when the hop's answer misses unreachable subtrees.
+	Partial bool `json:"partial,omitempty"`
+	// Unreachable lists the ID paths this hop could not cover.
+	Unreachable []string `json:"unreachable,omitempty"`
+	// Error is set on spans for subqueries that failed outright.
+	Error string `json:"error,omitempty"`
+	// Children are the spans of the subqueries this hop issued, in the
+	// order the gather loop spliced them.
+	Children []*Span `json:"children,omitempty"`
+}
+
+// Duration returns the hop's wall time.
+func (s *Span) Duration() time.Duration { return time.Duration(s.DurationUS) * time.Microsecond }
+
+// AddStage appends a stage timing (recorded in microseconds).
+func (s *Span) AddStage(name string, d time.Duration) {
+	s.Stages = append(s.Stages, Stage{Name: name, Micros: d.Microseconds()})
+}
+
+// Hops counts the spans in the tree (each span is one hop).
+func (s *Span) Hops() int {
+	if s == nil {
+		return 0
+	}
+	n := 1
+	for _, c := range s.Children {
+		n += c.Hops()
+	}
+	return n
+}
+
+// Walk visits every span in the tree depth-first, parents before children.
+func (s *Span) Walk(fn func(*Span)) {
+	if s == nil {
+		return
+	}
+	fn(s)
+	for _, c := range s.Children {
+		c.Walk(fn)
+	}
+}
+
+// Consistent reports whether every span in the tree carries the root's
+// TraceID — the invariant the gather merge must preserve.
+func (s *Span) Consistent() bool {
+	if s == nil {
+		return true
+	}
+	ok := true
+	id := s.TraceID
+	s.Walk(func(sp *Span) {
+		if sp.TraceID != id {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// Render formats the span tree as an EXPLAIN-style text block:
+//
+//	TRACE 4c1f9a2e77b01d3c  (3 hops, 2 subqueries, 14.2ms)
+//	└─ query @root-site  12.9ms  miss  fanout=1  [create-plan=102µs execute-qeg=1.1ms communication=11.2ms rest=480µs]
+//	   └─ query @city-site-0  8.3ms  miss  fanout=1  ...
+//	      └─ query @nb-site-0-0  2.2ms  hit  ...
+func Render(root *Span) string {
+	if root == nil {
+		return "(no trace)\n"
+	}
+	var b strings.Builder
+	var subs int
+	root.Walk(func(sp *Span) { subs += sp.Subqueries })
+	fmt.Fprintf(&b, "TRACE %s  (%d hops, %d subqueries, %v)\n",
+		root.TraceID, root.Hops(), subs, root.Duration().Round(10*time.Microsecond))
+	renderSpan(&b, root, "", true)
+	return b.String()
+}
+
+func renderSpan(b *strings.Builder, s *Span, prefix string, last bool) {
+	branch, childPrefix := "├─ ", prefix+"│  "
+	if last {
+		branch, childPrefix = "└─ ", prefix+"   "
+	}
+	b.WriteString(prefix + branch + describe(s) + "\n")
+	if s.Query != "" {
+		fmt.Fprintf(b, "%s     q: %s\n", prefix, clip(s.Query, 96))
+	}
+	for i, c := range s.Children {
+		renderSpan(b, c, childPrefix, i == len(s.Children)-1)
+	}
+}
+
+// describe renders one span as a single summary line.
+func describe(s *Span) string {
+	op := s.Op
+	if op == "" {
+		op = "query"
+	}
+	var parts []string
+	parts = append(parts, fmt.Sprintf("%s @%s", op, s.Site))
+	if s.Error != "" {
+		parts = append(parts, "ERROR: "+clip(s.Error, 72))
+		return strings.Join(parts, "  ")
+	}
+	parts = append(parts, s.Duration().Round(10*time.Microsecond).String())
+	if s.Subqueries == 0 && s.Op != "forward" {
+		parts = append(parts, "cache=hit")
+	} else if s.Op != "forward" {
+		parts = append(parts, fmt.Sprintf("cache=miss fanout=%d", s.Subqueries))
+	}
+	if s.Retries > 0 {
+		parts = append(parts, fmt.Sprintf("retries=%d", s.Retries))
+	}
+	if s.DeadlineHits > 0 {
+		parts = append(parts, fmt.Sprintf("deadline-hits=%d", s.DeadlineHits))
+	}
+	if s.BytesIn > 0 || s.BytesOut > 0 {
+		parts = append(parts, fmt.Sprintf("bytes=%d/%d", s.BytesIn, s.BytesOut))
+	}
+	if s.Partial {
+		parts = append(parts, fmt.Sprintf("PARTIAL (%d unreachable)", len(s.Unreachable)))
+	}
+	if len(s.Stages) > 0 {
+		ss := make([]string, 0, len(s.Stages))
+		for _, st := range s.Stages {
+			ss = append(ss, fmt.Sprintf("%s=%v", st.Name, (time.Duration(st.Micros)*time.Microsecond).Round(10*time.Microsecond)))
+		}
+		parts = append(parts, "["+strings.Join(ss, " ")+"]")
+	}
+	return strings.Join(parts, "  ")
+}
+
+// Summarize aggregates a span tree into per-site hop counts, a convenience
+// for tests and tools ("which sites did this query touch, how often").
+func Summarize(root *Span) map[string]int {
+	out := map[string]int{}
+	root.Walk(func(sp *Span) { out[sp.Site]++ })
+	return out
+}
+
+// Sites returns the distinct sites in the tree, sorted.
+func Sites(root *Span) []string {
+	m := Summarize(root)
+	out := make([]string, 0, len(m))
+	for s := range m {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleTree() *Span {
+	root := &Span{TraceID: "abc123", Site: "root", Op: "query", DurationUS: 5000, Subqueries: 2}
+	root.AddStage("create-plan", 100*time.Microsecond)
+	root.AddStage("execute-qeg", 400*time.Microsecond)
+	kid1 := &Span{TraceID: "abc123", Site: "city", Op: "query", DurationUS: 2000, Subqueries: 1, Retries: 2}
+	kid2 := &Span{TraceID: "abc123", Site: "nb-1", Op: "query", Error: "boom"}
+	leaf := &Span{TraceID: "abc123", Site: "nb-0", Op: "query", DurationUS: 500, CacheHit: true, Partial: true, Unreachable: []string{"/a/b"}}
+	kid1.Children = []*Span{leaf}
+	root.Children = []*Span{kid1, kid2}
+	return root
+}
+
+func TestNewTraceID(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("trace IDs %q/%q are not 16 hex chars", a, b)
+	}
+	if a == b {
+		t.Fatal("two trace IDs collided")
+	}
+}
+
+func TestHopsWalkConsistent(t *testing.T) {
+	root := sampleTree()
+	if root.Hops() != 4 {
+		t.Fatalf("Hops() = %d, want 4", root.Hops())
+	}
+	var order []string
+	root.Walk(func(s *Span) { order = append(order, s.Site) })
+	if strings.Join(order, ",") != "root,city,nb-0,nb-1" {
+		t.Fatalf("walk order %v, want parents before children", order)
+	}
+	if !root.Consistent() {
+		t.Fatal("uniform tree reported inconsistent")
+	}
+	root.Children[0].Children[0].TraceID = "other"
+	if root.Consistent() {
+		t.Fatal("mixed trace IDs reported consistent")
+	}
+}
+
+func TestRender(t *testing.T) {
+	out := Render(sampleTree())
+	for _, want := range []string{
+		"TRACE abc123  (4 hops, 3 subqueries, 5ms)",
+		"└─ query @root  5ms  cache=miss fanout=2",
+		"[create-plan=100µs execute-qeg=400µs]",
+		"retries=2",
+		"query @nb-0  500µs  cache=hit",
+		"PARTIAL (1 unreachable)",
+		"ERROR: boom",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered trace missing %q:\n%s", want, out)
+		}
+	}
+	if Render(nil) != "(no trace)\n" {
+		t.Fatal("nil trace rendering")
+	}
+}
+
+func TestSummarizeAndSites(t *testing.T) {
+	root := sampleTree()
+	m := Summarize(root)
+	if m["root"] != 1 || m["city"] != 1 || m["nb-0"] != 1 || m["nb-1"] != 1 {
+		t.Fatalf("summary %v", m)
+	}
+	if got := strings.Join(Sites(root), ","); got != "city,nb-0,nb-1,root" {
+		t.Fatalf("Sites() = %q, want sorted", got)
+	}
+}
+
+// TestSpanWireRoundTrip: spans survive the JSON envelope intact (the wire
+// contract with site.Message).
+func TestSpanWireRoundTrip(t *testing.T) {
+	root := sampleTree()
+	b, err := json.Marshal(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Span
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Hops() != root.Hops() || !back.Consistent() {
+		t.Fatalf("round trip lost structure: hops=%d", back.Hops())
+	}
+	if back.Children[0].Retries != 2 || !back.Children[0].Children[0].CacheHit {
+		t.Fatal("round trip lost span fields")
+	}
+}

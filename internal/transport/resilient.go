@@ -166,8 +166,13 @@ func (c *Caller) Call(ctx context.Context, site string, payload []byte) ([]byte,
 			return resp, nil
 		}
 		lastErr = err
-		if errors.Is(err, context.DeadlineExceeded) && c.OnDeadline != nil {
-			c.OnDeadline()
+		if errors.Is(err, context.DeadlineExceeded) {
+			if c.OnDeadline != nil {
+				c.OnDeadline()
+			}
+			if st := StatsFrom(ctx); st != nil {
+				st.DeadlineHits.Add(1)
+			}
 		}
 		if ctx.Err() != nil {
 			// The parent gave up (deadline or cancel): no retry can help.
@@ -181,6 +186,9 @@ func (c *Caller) Call(ctx context.Context, site string, payload []byte) ([]byte,
 		}
 		if c.OnRetry != nil {
 			c.OnRetry()
+		}
+		if st := StatsFrom(ctx); st != nil {
+			st.Retries.Add(1)
 		}
 		if err := sleepCtx(ctx, p.backoff(attempt)); err != nil {
 			return nil, lastErr

@@ -1,0 +1,31 @@
+package transport
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// CallStats accumulates resilience events for one logical unit of work (one
+// traced query hop). It rides in the context so every Caller the work flows
+// through — subquery fetches, forwards, migrations — bills its retries and
+// deadline expiries to the same place, independent of the site-wide
+// counters wired into Caller.OnRetry/OnDeadline.
+type CallStats struct {
+	Retries      atomic.Int64
+	DeadlineHits atomic.Int64
+}
+
+type callStatsKey struct{}
+
+// WithCallStats returns a context carrying a fresh CallStats plus the stats
+// themselves. Nested calls deriving from the returned context all share it.
+func WithCallStats(ctx context.Context) (context.Context, *CallStats) {
+	st := &CallStats{}
+	return context.WithValue(ctx, callStatsKey{}, st), st
+}
+
+// StatsFrom extracts the CallStats from the context, or nil.
+func StatsFrom(ctx context.Context) *CallStats {
+	st, _ := ctx.Value(callStatsKey{}).(*CallStats)
+	return st
+}

@@ -1,0 +1,58 @@
+#!/bin/sh
+# Smoke-tests the irisnetd observability endpoint: starts the parking-demo
+# root site (hosting the registry) with -admin, waits for /healthz, checks
+# that /metrics serves Prometheus text with the irisnet series, and that
+# /debug/fragment reports the site. Needs only a POSIX shell + curl.
+set -eu
+
+cd "$(dirname "$0")/.."
+TOPO=deployments/parking-demo/topo.json
+ADMIN=127.0.0.1:19090
+LOG=$(mktemp)
+BIN=$(mktemp)
+
+go build -o "$BIN" ./cmd/irisnetd
+
+"$BIN" -topology "$TOPO" -site root-site -registry -admin "$ADMIN" >"$LOG" 2>&1 &
+PID=$!
+cleanup() {
+    kill "$PID" 2>/dev/null || true
+    wait "$PID" 2>/dev/null || true
+    rm -f "$BIN"
+}
+trap cleanup EXIT
+
+ok=0
+for i in $(seq 1 50); do
+    if curl -fsS "http://$ADMIN/healthz" 2>/dev/null | grep -q '^ok$'; then
+        ok=1
+        break
+    fi
+    sleep 0.1
+done
+if [ "$ok" != 1 ]; then
+    echo "metrics-smoke: /healthz never became ready" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+
+METRICS=$(curl -fsS "http://$ADMIN/metrics")
+for series in irisnet_queries_total irisnet_cache_hits_total irisnet_cache_misses_total \
+    irisnet_retries_total irisnet_partial_answers_total irisnet_store_nodes; do
+    if ! printf '%s\n' "$METRICS" | grep -q "^$series"; then
+        echo "metrics-smoke: /metrics missing series $series" >&2
+        printf '%s\n' "$METRICS" >&2
+        exit 1
+    fi
+done
+if ! printf '%s\n' "$METRICS" | grep -q '^# TYPE irisnet_queries_total counter$'; then
+    echo "metrics-smoke: /metrics missing TYPE line" >&2
+    exit 1
+fi
+
+curl -fsS "http://$ADMIN/debug/fragment" | grep -q '"site": "root-site"' || {
+    echo "metrics-smoke: /debug/fragment missing root-site" >&2
+    exit 1
+}
+
+echo "metrics-smoke: ok (/healthz, /metrics, /debug/fragment all answering)"
