@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci build fmt vet test bench-smoke metrics-smoke
+.PHONY: ci build fmt vet test race-stress bench-smoke metrics-smoke
 
-ci: build fmt vet test bench-smoke metrics-smoke
+ci: build fmt vet test race-stress bench-smoke metrics-smoke
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,12 @@ vet:
 
 test:
 	$(GO) test -race ./...
+
+# Re-runs the concurrency stress tests under the race detector with more
+# repetitions than the plain test step, to shake out rare interleavings in
+# the lock-free query path (snapshots, plan cache, migration handoffs).
+race-stress:
+	$(GO) test -race -count=3 -run 'Concurrent|Snapshot|COW' ./internal/site ./internal/qeg ./internal/fragment
 
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...

@@ -70,6 +70,15 @@ type Config struct {
 	CacheBypass bool
 	// NaivePlans selects naive per-query plan creation everywhere.
 	NaivePlans bool
+	// CPUSlots is the number of concurrent CPU-bound message-processing
+	// slots per site; zero means 1, the paper's single-CPU machines. The
+	// read-write-mix experiment raises it to expose lock contention rather
+	// than CPU-slot contention.
+	CPUSlots int
+	// CoarseLocking reinstates the pre-snapshot reader-writer lock around
+	// query evaluation and store writes at every site — the "before" arm
+	// of the read-write-mix benchmark. See site.Config.CoarseLocking.
+	CoarseLocking bool
 	// QueryWork, PerNodeWork and UpdateWork are the synthetic service-time
 	// model of the paper's heavier XML backend: a query evaluation holds a
 	// site's CPU slot for QueryWork + PerNodeWork x (result nodes); an
@@ -107,6 +116,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DNSTTL == 0 {
 		c.DNSTTL = time.Hour
+	}
+	if c.CPUSlots == 0 {
+		c.CPUSlots = 1
 	}
 	return c
 }
@@ -163,22 +175,23 @@ func New(arch Architecture, cfg Config) (*Cluster, error) {
 	}
 	for _, name := range assign.Sites() {
 		s := site.New(site.Config{
-			Name:        name,
-			Service:     workload.Service,
-			Net:         c.Net,
-			DNS:         c.NewResolver(),
-			Registry:    c.Registry,
-			Schema:      db.Schema,
-			Caching:     cfg.Caching,
-			CacheBypass: cfg.CacheBypass,
-			NaivePlans:  cfg.NaivePlans,
-			CPUSlots:    1,
-			QueryWork:   cfg.QueryWork,
-			PerNodeWork: cfg.PerNodeWork,
-			UpdateWork:  cfg.UpdateWork,
-			Clock:       cfg.Clock,
-			CallTimeout: cfg.CallTimeout,
-			Retry:       cfg.Retry,
+			Name:          name,
+			Service:       workload.Service,
+			Net:           c.Net,
+			DNS:           c.NewResolver(),
+			Registry:      c.Registry,
+			Schema:        db.Schema,
+			Caching:       cfg.Caching,
+			CacheBypass:   cfg.CacheBypass,
+			NaivePlans:    cfg.NaivePlans,
+			CPUSlots:      cfg.CPUSlots,
+			CoarseLocking: cfg.CoarseLocking,
+			QueryWork:     cfg.QueryWork,
+			PerNodeWork:   cfg.PerNodeWork,
+			UpdateWork:    cfg.UpdateWork,
+			Clock:         cfg.Clock,
+			CallTimeout:   cfg.CallTimeout,
+			Retry:         cfg.Retry,
 		}, workload.RootName, workload.RootID)
 		s.Load(stores[name], owned[name])
 		if err := s.Start(); err != nil {
@@ -280,7 +293,8 @@ func BalancedSkewCluster(cfg Config, hotCity, hotNB int) (*Cluster, error) {
 			Name: name, Service: workload.Service, Net: c.Net, DNS: c.NewResolver(),
 			Registry: c.Registry, Schema: db.Schema, Caching: cfg.Caching,
 			CacheBypass: cfg.CacheBypass,
-			NaivePlans:  cfg.NaivePlans, CPUSlots: 1, Clock: cfg.Clock,
+			NaivePlans:  cfg.NaivePlans, CPUSlots: cfg.CPUSlots,
+			CoarseLocking: cfg.CoarseLocking, Clock: cfg.Clock,
 			QueryWork: cfg.QueryWork, PerNodeWork: cfg.PerNodeWork, UpdateWork: cfg.UpdateWork,
 			CallTimeout: cfg.CallTimeout, Retry: cfg.Retry,
 		}, workload.RootName, workload.RootID)

@@ -81,7 +81,7 @@ func Partition(doc *xmldb.Node, assign *Assignment) (map[string]*Store, map[stri
 		}
 		if len(p) == 1 {
 			// Document root: install directly.
-			applyLocalInfo(st.Root, LocalInfo(n), StatusOwned)
+			st.applyLocalInfo(st.Root, LocalInfo(n), StatusOwned)
 		} else if err := st.InstallLocalInfo(p, LocalInfo(n), StatusOwned); err != nil {
 			return err
 		}

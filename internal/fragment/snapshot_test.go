@@ -1,0 +1,346 @@
+package fragment
+
+import (
+	"fmt"
+	"testing"
+
+	"irisnet/internal/xmldb"
+)
+
+// buildDoc makes a small reference document:
+// root -> city{a,b} -> block{1,2} -> space{1,2} with an <available> field.
+func buildDoc() *xmldb.Node {
+	doc := xmldb.NewElem("usRegion", "NE")
+	for _, city := range []string{"a", "b"} {
+		c := doc.AddChild(xmldb.NewElem("city", city))
+		for _, blk := range []string{"1", "2"} {
+			b := c.AddChild(xmldb.NewElem("block", blk))
+			for _, sp := range []string{"1", "2"} {
+				n := b.AddChild(xmldb.NewElem("parkingSpace", sp))
+				av := n.AddChild(xmldb.NewNode("available"))
+				av.Text = "yes"
+			}
+		}
+	}
+	return doc
+}
+
+func buildStore(t *testing.T) (*Store, []xmldb.IDPath) {
+	t.Helper()
+	stores, owned, err := Partition(buildDoc(), NewAssignment("solo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stores["solo"], owned["solo"]
+}
+
+// localIDInfoStub builds a local-info fragment: <name id=..> with IDable
+// child stubs.
+func localIDInfoStub(name, id, childName string, childIDs ...string) *xmldb.Node {
+	n := xmldb.NewElem(name, id)
+	for _, cid := range childIDs {
+		n.AddChild(xmldb.NewElem(childName, cid))
+	}
+	return n
+}
+
+func spath(parts ...string) xmldb.IDPath {
+	p := xmldb.IDPath{{Name: "usRegion", ID: "NE"}}
+	for i := 0; i+1 < len(parts); i += 2 {
+		p = p.Child(parts[i], parts[i+1])
+	}
+	return p
+}
+
+func TestCOWApplyUpdateSharesSiblings(t *testing.T) {
+	base, _ := buildStore(t)
+	base.Seal()
+	target := spath("city", "a", "block", "1", "parkingSpace", "1")
+
+	w := base.Begin()
+	if err := w.ApplyUpdate(target, map[string]string{"available": "no"}, map[string]string{"meter": "broken"}, 42); err != nil {
+		t.Fatal(err)
+	}
+	next := w.Commit()
+
+	// The old version is untouched.
+	oldN := base.NodeAt(target)
+	if got := oldN.ChildNamed("available").Text; got != "yes" {
+		t.Fatalf("base mutated: available = %q", got)
+	}
+	if _, ok := oldN.Attr("meter"); ok {
+		t.Fatal("base mutated: meter attribute appeared")
+	}
+	// The new version has the update, with the timestamp.
+	newN := next.NodeAt(target)
+	if got := newN.ChildNamed("available").Text; got != "no" {
+		t.Fatalf("new version: available = %q", got)
+	}
+	if ts, ok := Timestamp(newN); !ok || ts != 42 {
+		t.Fatalf("new version timestamp = %v, %v", ts, ok)
+	}
+	// Sibling subtrees are shared structurally (same pointers)...
+	sib := spath("city", "a", "block", "1", "parkingSpace", "2")
+	if base.NodeAt(sib) != next.NodeAt(sib) {
+		t.Fatal("untouched sibling subtree was copied, not shared")
+	}
+	other := spath("city", "b")
+	if base.NodeAt(other) != next.NodeAt(other) {
+		t.Fatal("untouched city subtree was copied, not shared")
+	}
+	// ...while the spine down to the touched node is fresh.
+	for i := 1; i <= len(target); i++ {
+		p := target[:i]
+		if base.NodeAt(p) == next.NodeAt(p) {
+			t.Fatalf("spine node %s is shared; must be path-copied", xmldb.IDPath(p))
+		}
+	}
+	// Node-count accounting survived the transaction.
+	if got, want := next.Size(), next.Root.CountNodes(); got != want {
+		t.Fatalf("Size() = %d, walk = %d", got, want)
+	}
+	if base.Size() != base.Root.CountNodes() {
+		t.Fatal("base count drifted")
+	}
+}
+
+func TestCOWSequentialWritersKeepBothChanges(t *testing.T) {
+	v0, _ := buildStore(t)
+	v0.Seal()
+	p1 := spath("city", "a", "block", "1", "parkingSpace", "1")
+	p2 := spath("city", "b", "block", "2", "parkingSpace", "2")
+
+	w1 := v0.Begin()
+	if err := w1.ApplyUpdate(p1, map[string]string{"available": "u1"}, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	v1 := w1.Commit()
+	w2 := v1.Begin()
+	if err := w2.ApplyUpdate(p2, map[string]string{"available": "u2"}, nil, 2); err != nil {
+		t.Fatal(err)
+	}
+	v2 := w2.Commit()
+
+	if got := v2.NodeAt(p1).ChildNamed("available").Text; got != "u1" {
+		t.Fatalf("writer 2 lost writer 1's update: %q", got)
+	}
+	if got := v2.NodeAt(p2).ChildNamed("available").Text; got != "u2" {
+		t.Fatalf("second update missing: %q", got)
+	}
+}
+
+func TestCOWMergeMatchesMutableMerge(t *testing.T) {
+	base, owned := buildStore(t)
+	base.Seal()
+
+	// An incoming answer fragment refreshing one space and introducing a
+	// new block stub.
+	frag := xmldb.NewElem("usRegion", "NE")
+	SetStatus(frag, StatusIDComplete)
+	city := frag.AddChild(xmldb.NewElem("city", "a"))
+	SetStatus(city, StatusIDComplete)
+	blk := city.AddChild(xmldb.NewElem("block", "1"))
+	SetStatus(blk, StatusIDComplete)
+	sp := blk.AddChild(xmldb.NewElem("parkingSpace", "1"))
+	SetStatus(sp, StatusComplete)
+	SetTimestamp(sp, 99)
+	av := sp.AddChild(xmldb.NewNode("available"))
+	av.Text = "merged"
+	nb := city.AddChild(xmldb.NewElem("block", "9"))
+	SetStatus(nb, StatusIncomplete)
+
+	mutable := base.Clone()
+	if err := mutable.MergeFragment(frag); err != nil {
+		t.Fatal(err)
+	}
+	w := base.Begin()
+	if err := w.MergeFragment(frag); err != nil {
+		t.Fatal(err)
+	}
+	next := w.Commit()
+
+	if !xmldb.Equal(mutable.Root, next.Root) {
+		t.Fatalf("COW merge differs from mutable merge:\n%s\nvs\n%s", next.Root.Indented(), mutable.Root.Indented())
+	}
+	// Owned data was not clobbered by the merge (parkingSpace 1 is owned in
+	// the base store, so the incoming complete copy must not replace it).
+	p := spath("city", "a", "block", "1", "parkingSpace", "1")
+	if got := next.NodeAt(p).ChildNamed("available").Text; got != "yes" {
+		t.Fatalf("merge clobbered owned data: %q", got)
+	}
+	if got, want := next.Size(), next.Root.CountNodes(); got != want {
+		t.Fatalf("Size() = %d, walk = %d", got, want)
+	}
+	// Invariant check against a reference document extended with the new
+	// block stub the merge introduced.
+	ref := buildDoc()
+	ref.ChildNamed("city").AddChild(xmldb.NewElem("block", "9"))
+	if errs := CheckInvariants(next, ref, owned, false); len(errs) > 0 {
+		t.Fatalf("invariants after COW merge: %v", errs)
+	}
+}
+
+func TestCOWMergeValidationLeavesVersionClean(t *testing.T) {
+	base, _ := buildStore(t)
+	base.Seal()
+	bad := xmldb.NewElem("usRegion", "NE")
+	SetStatus(bad, StatusIncomplete)
+	bad.AddChild(xmldb.NewElem("city", "a")) // incomplete node with children: C1/C2 violation
+
+	w := base.Begin()
+	if err := w.MergeFragment(bad); err == nil {
+		t.Fatal("invalid fragment accepted")
+	}
+	next := w.Commit()
+	if !xmldb.Equal(base.Root, next.Root) {
+		t.Fatal("rejected merge dirtied the new version")
+	}
+}
+
+func TestCOWEvictions(t *testing.T) {
+	base, _ := buildStore(t)
+	// Downgrade one space to complete (cached) so it is evictable.
+	p := spath("city", "b", "block", "1", "parkingSpace", "2")
+	SetStatus(base.NodeAt(p), StatusComplete)
+	base.Seal()
+
+	w := base.Begin()
+	if err := w.EvictLocalInfo(p); err != nil {
+		t.Fatal(err)
+	}
+	next := w.Commit()
+	if got := StatusOf(next.NodeAt(p)); got != StatusIDComplete {
+		t.Fatalf("evicted node status = %v", got)
+	}
+	if StatusOf(base.NodeAt(p)) != StatusComplete {
+		t.Fatal("eviction leaked into the base version")
+	}
+	if got, want := next.Size(), next.Root.CountNodes(); got != want {
+		t.Fatalf("Size() = %d, walk = %d", got, want)
+	}
+
+	// Owned subtrees cannot be evicted.
+	w2 := next.Begin()
+	if err := w2.EvictSubtree(spath("city", "a")); err == nil {
+		t.Fatal("evicted a subtree containing owned data")
+	}
+	// A cached-only node can be dropped wholesale.
+	base2 := NewStore("usRegion", "NE")
+	if err := base2.InstallLocalIDInfo(spath(), localIDInfoStub("usRegion", "NE", "city", "c")); err != nil {
+		t.Fatal(err)
+	}
+	info := localIDInfoStub("city", "c", "block", "7")
+	if err := base2.InstallLocalInfo(spath("city", "c"), info, StatusComplete); err != nil {
+		t.Fatal(err)
+	}
+	base2.Seal()
+	w3 := base2.Begin()
+	if err := w3.EvictSubtree(spath("city", "c")); err != nil {
+		t.Fatal(err)
+	}
+	v3 := w3.Commit()
+	n := v3.NodeAt(spath("city", "c"))
+	if StatusOf(n) != StatusIncomplete || len(n.Children) != 0 {
+		t.Fatalf("evicted subtree not a bare stub: %s", n)
+	}
+	if got, want := v3.Size(), v3.Root.CountNodes(); got != want {
+		t.Fatalf("Size() = %d, walk = %d", got, want)
+	}
+}
+
+func TestSealedStorePanicsOnMutation(t *testing.T) {
+	s, _ := buildStore(t)
+	s.Seal()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mutating a sealed store did not panic")
+		}
+	}()
+	_ = s.MergeFragment(xmldb.NewElem("usRegion", "NE"))
+}
+
+func TestSizeAccountingAcrossMutators(t *testing.T) {
+	s := NewStore("usRegion", "NE")
+	check := func(step string) {
+		t.Helper()
+		if got, want := s.Size(), s.Root.CountNodes(); got != want {
+			t.Fatalf("%s: Size() = %d, walk = %d", step, got, want)
+		}
+	}
+	check("new")
+	if err := s.InstallLocalIDInfo(spath(), localIDInfoStub("usRegion", "NE", "city", "a", "b")); err != nil {
+		t.Fatal(err)
+	}
+	check("install-root-id-info")
+	info := localIDInfoStub("city", "a", "block", "1")
+	extra := info.AddChild(xmldb.NewNode("note"))
+	extra.AddChild(xmldb.NewNode("deep"))
+	if err := s.InstallLocalInfo(spath("city", "a"), info, StatusComplete); err != nil {
+		t.Fatal(err)
+	}
+	check("install-local-info")
+	// Reinstall with fewer children: the note subtree and block stub go away.
+	if err := s.InstallLocalInfo(spath("city", "a"), localIDInfoStub("city", "a", "block", "2"), StatusComplete); err != nil {
+		t.Fatal(err)
+	}
+	check("reinstall-local-info")
+	if err := s.MarkUnreachable(spath("city", "b", "block", "3")); err != nil {
+		t.Fatal(err)
+	}
+	check("mark-unreachable")
+	if err := s.EvictLocalInfo(spath("city", "a")); err != nil {
+		t.Fatal(err)
+	}
+	check("evict-local-info")
+	if err := s.EvictSubtree(spath("city", "a")); err != nil {
+		t.Fatal(err)
+	}
+	check("evict-subtree")
+}
+
+func TestCloneCarriesCount(t *testing.T) {
+	s, _ := buildStore(t)
+	want := s.Root.CountNodes()
+	if got := s.Clone().Size(); got != want {
+		t.Fatalf("clone Size() = %d, want %d", got, want)
+	}
+	// A literal store (count unknown) lazily computes and caches.
+	lit := &Store{Root: s.Root.Clone()}
+	if got := lit.Size(); got != want {
+		t.Fatalf("literal Size() = %d, want %d", got, want)
+	}
+}
+
+func TestCOWStressManyVersions(t *testing.T) {
+	v, vOwned := buildStore(t)
+	v.Seal()
+	targets := []xmldb.IDPath{
+		spath("city", "a", "block", "1", "parkingSpace", "1"),
+		spath("city", "a", "block", "2", "parkingSpace", "2"),
+		spath("city", "b", "block", "1", "parkingSpace", "2"),
+	}
+	for i := 0; i < 200; i++ {
+		w := v.Begin()
+		p := targets[i%len(targets)]
+		if err := w.ApplyUpdate(p, map[string]string{"available": fmt.Sprint(i)}, nil, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+		v = w.Commit()
+	}
+	// The final version holds the last value written to each target.
+	last := map[string]int{}
+	for i := 0; i < 200; i++ {
+		last[targets[i%len(targets)].Key()] = i
+	}
+	for _, p := range targets {
+		if got := v.NodeAt(p).ChildNamed("available").Text; got != fmt.Sprint(last[p.Key()]) {
+			t.Fatalf("%s = %q, want %d", p, got, last[p.Key()])
+		}
+	}
+	if got, want := v.Size(), v.Root.CountNodes(); got != want {
+		t.Fatalf("Size() = %d, walk = %d", got, want)
+	}
+	if errs := CheckInvariants(v, buildDoc(), vOwned, false); len(errs) > 0 {
+		t.Fatalf("invariants after 200 versions: %v", errs)
+	}
+}

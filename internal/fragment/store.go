@@ -3,6 +3,7 @@ package fragment
 import (
 	"fmt"
 	"strconv"
+	"sync/atomic"
 
 	"irisnet/internal/xmldb"
 )
@@ -12,10 +13,28 @@ import (
 // that whenever any node is present, the local ID information of all its
 // ancestors is too, so the fragment is always a rooted tree.
 //
-// Store performs no locking; the site layer serializes access.
+// Store performs no locking; the site layer serializes mutation. A store
+// may additionally be sealed (Seal), after which it is immutable and safe
+// to read from any number of goroutines concurrently — the site layer
+// publishes sealed snapshots to its lock-free query path and builds new
+// versions with the copy-on-write transaction in snapshot.go.
 type Store struct {
 	// Root is the document root stub; never nil after NewStore.
 	Root *xmldb.Node
+
+	// nodes caches the element-node count of the subtree under Root.
+	// 0 means unknown (a store always has at least the root node); it is
+	// maintained incrementally by the mutators so Size is O(1) on stores
+	// that never left the accounted path, and recomputed lazily otherwise.
+	nodes atomic.Int64
+
+	// cachedN caches CachedCount for sealed stores, encoded as count+1 so
+	// the zero value means "not computed yet".
+	cachedN atomic.Int64
+
+	// sealed marks the store immutable. Mutating methods panic when set;
+	// it exists to catch writers that bypass the copy-on-write path.
+	sealed bool
 }
 
 // NewStore creates an empty store whose document root has the given element
@@ -23,8 +42,48 @@ type Store struct {
 func NewStore(rootName, rootID string) *Store {
 	root := xmldb.NewElem(rootName, rootID)
 	SetStatus(root, StatusIncomplete)
-	return &Store{Root: root}
+	s := &Store{Root: root}
+	s.nodes.Store(1)
+	return s
 }
+
+// Seal marks the store immutable and returns it. Sealed stores are safe
+// for concurrent readers; every further mutation must go through a
+// copy-on-write transaction (Store.Begin) that produces a new version.
+func (s *Store) Seal() *Store {
+	s.sealed = true
+	return s
+}
+
+// Sealed reports whether the store has been sealed.
+func (s *Store) Sealed() bool { return s.sealed }
+
+func (s *Store) mutable() {
+	if s.sealed {
+		panic("fragment: mutation of a sealed store; use Begin() for copy-on-write")
+	}
+}
+
+// addNodes adjusts the cached node count by delta when the count is known.
+// An unknown count stays unknown; Size recomputes it on demand.
+func (s *Store) addNodes(delta int) {
+	if delta == 0 {
+		return
+	}
+	for {
+		cur := s.nodes.Load()
+		if cur == 0 {
+			return
+		}
+		if s.nodes.CompareAndSwap(cur, cur+int64(delta)) {
+			return
+		}
+	}
+}
+
+// countKnown reports whether the cached node count is valid, letting
+// mutators skip subtree walks whose only purpose is delta accounting.
+func (s *Store) countKnown() bool { return s.nodes.Load() != 0 }
 
 // NodeAt returns the stored node at the ID path, or nil.
 func (s *Store) NodeAt(p xmldb.IDPath) *xmldb.Node {
@@ -46,6 +105,7 @@ func (s *Store) ensurePath(p xmldb.IDPath) (*xmldb.Node, error) {
 		if next == nil {
 			next = cur.AddChild(xmldb.NewElem(st.Name, st.ID))
 			SetStatus(next, StatusIncomplete)
+			s.addNodes(1)
 		}
 		cur = next
 	}
@@ -80,6 +140,7 @@ func Timestamp(n *xmldb.Node) (float64, bool) {
 // ID information must already be present (invariant I2) — the caller
 // arranges it via EnsureAncestors or a prior merge.
 func (s *Store) InstallLocalInfo(p xmldb.IDPath, info *xmldb.Node, st Status) error {
+	s.mutable()
 	if !st.HasLocalInfo() {
 		return fmt.Errorf("fragment: InstallLocalInfo with status %v", st)
 	}
@@ -90,12 +151,13 @@ func (s *Store) InstallLocalInfo(p xmldb.IDPath, info *xmldb.Node, st Status) er
 	if len(p) > 1 && !StatusOf(n.Parent).HasLocalIDInfo() && n.Parent.Parent != nil {
 		return fmt.Errorf("fragment: I2 violation: parent of %s lacks local ID info", p)
 	}
-	applyLocalInfo(n, info, st)
+	s.applyLocalInfo(n, info, st)
 	return nil
 }
 
 // applyLocalInfo overwrites n's local info unit from the detached fragment.
-func applyLocalInfo(n *xmldb.Node, info *xmldb.Node, st Status) {
+func (s *Store) applyLocalInfo(n *xmldb.Node, info *xmldb.Node, st Status) {
+	track := s.countKnown()
 	// Replace attributes wholesale (the local info unit includes them).
 	n.Attrs = nil
 	for _, a := range info.Attrs {
@@ -112,6 +174,8 @@ func applyLocalInfo(n *xmldb.Node, info *xmldb.Node, st Status) {
 	for _, c := range n.Children {
 		if c.ID() != "" {
 			keep[c.Name+"\x00"+c.ID()] = c
+		} else if track {
+			s.addNodes(-c.CountNodes())
 		}
 	}
 	n.Children = nil
@@ -121,16 +185,27 @@ func applyLocalInfo(n *xmldb.Node, info *xmldb.Node, st Status) {
 			stripStatusDeep(cl)
 			cl.Parent = n
 			n.Children = append(n.Children, cl)
+			if track {
+				s.addNodes(cl.CountNodes())
+			}
 			continue
 		}
-		if old, ok := keep[c.Name+"\x00"+c.ID()]; ok {
+		key := c.Name + "\x00" + c.ID()
+		if old, ok := keep[key]; ok {
 			old.Parent = n
 			n.Children = append(n.Children, old)
+			delete(keep, key)
 		} else {
 			stub := xmldb.NewElem(c.Name, c.ID())
 			SetStatus(stub, StatusIncomplete)
 			stub.Parent = n
 			n.Children = append(n.Children, stub)
+			s.addNodes(1)
+		}
+	}
+	if track {
+		for _, dropped := range keep {
+			s.addNodes(-dropped.CountNodes())
 		}
 	}
 }
@@ -139,6 +214,7 @@ func applyLocalInfo(n *xmldb.Node, info *xmldb.Node, st Status) {
 // its ID plus stubs for the listed IDable children. If the node is below
 // id-complete it is upgraded; richer statuses are untouched.
 func (s *Store) InstallLocalIDInfo(p xmldb.IDPath, info *xmldb.Node) error {
+	s.mutable()
 	n, err := s.ensurePath(p)
 	if err != nil {
 		return err
@@ -150,6 +226,7 @@ func (s *Store) InstallLocalIDInfo(p xmldb.IDPath, info *xmldb.Node) error {
 		if n.Child(c.Name, c.ID()) == nil {
 			stub := n.AddChild(xmldb.NewElem(c.Name, c.ID()))
 			SetStatus(stub, StatusIncomplete)
+			s.addNodes(1)
 		}
 	}
 	if !StatusOf(n).HasLocalIDInfo() {
@@ -185,6 +262,7 @@ func (s *Store) EnsureAncestors(ref *xmldb.Node, p xmldb.IDPath) error {
 // unreachable, and placing a child under an incomplete node would violate
 // the fragment conditions.
 func (s *Store) MarkUnreachable(p xmldb.IDPath) error {
+	s.mutable()
 	if len(p) == 0 {
 		return fmt.Errorf("fragment: empty id path")
 	}
@@ -207,6 +285,7 @@ func (s *Store) MarkUnreachable(p xmldb.IDPath) error {
 			}
 			next = cur.AddChild(xmldb.NewElem(st.Name, st.ID))
 			SetStatus(next, StatusUnreachable)
+			s.addNodes(1)
 			return nil
 		}
 		cur = next
@@ -242,6 +321,7 @@ func (s *Store) UnreachablePaths() []xmldb.IDPath {
 // info is refreshed when the incoming copy is at least as new (the paper's
 // replace-on-fresh-copy policy). Owned data is never overwritten by a merge.
 func (s *Store) MergeFragment(frag *xmldb.Node) error {
+	s.mutable()
 	if err := ValidateFragment(frag); err != nil {
 		return err
 	}
@@ -249,11 +329,11 @@ func (s *Store) MergeFragment(frag *xmldb.Node) error {
 		return fmt.Errorf("fragment: merge root <%s id=%q> does not match store root <%s id=%q>",
 			frag.Name, frag.ID(), s.Root.Name, s.Root.ID())
 	}
-	mergeNode(s.Root, frag)
+	s.mergeNode(s.Root, frag)
 	return nil
 }
 
-func mergeNode(dst, src *xmldb.Node) {
+func (s *Store) mergeNode(dst, src *xmldb.Node) {
 	srcStatus := StatusOf(src)
 	dstStatus := StatusOf(dst)
 	switch {
@@ -269,13 +349,13 @@ func mergeNode(dst, src *xmldb.Node) {
 			}
 		}
 		if fresh {
-			applyLocalInfo(dst, localInfoOf(src), StatusComplete)
+			s.applyLocalInfo(dst, localInfoOf(src), StatusComplete)
 		} else {
 			// Still merge any child stubs we did not know about.
-			unionChildStubs(dst, src)
+			s.unionChildStubs(dst, src)
 		}
 	case srcStatus == StatusIDComplete:
-		unionChildStubs(dst, src)
+		s.unionChildStubs(dst, src)
 		if !dstStatus.HasLocalIDInfo() {
 			SetStatus(dst, StatusIDComplete)
 		}
@@ -291,8 +371,9 @@ func mergeNode(dst, src *xmldb.Node) {
 		if dc == nil {
 			dc = dst.AddChild(xmldb.NewElem(sc.Name, sc.ID()))
 			SetStatus(dc, StatusIncomplete)
+			s.addNodes(1)
 		}
-		mergeNode(dc, sc)
+		s.mergeNode(dc, sc)
 	}
 }
 
@@ -311,7 +392,7 @@ func localInfoOf(src *xmldb.Node) *xmldb.Node {
 	return out
 }
 
-func unionChildStubs(dst, src *xmldb.Node) {
+func (s *Store) unionChildStubs(dst, src *xmldb.Node) {
 	for _, sc := range src.Children {
 		if sc.ID() == "" {
 			continue
@@ -319,6 +400,7 @@ func unionChildStubs(dst, src *xmldb.Node) {
 		if dst.Child(sc.Name, sc.ID()) == nil {
 			stub := dst.AddChild(xmldb.NewElem(sc.Name, sc.ID()))
 			SetStatus(stub, StatusIncomplete)
+			s.addNodes(1)
 		}
 	}
 }
@@ -371,6 +453,7 @@ func ValidateFragment(frag *xmldb.Node) error {
 // the non-IDable children) while keeping the IDable child stubs and their
 // subtrees. Owned nodes cannot be evicted (invariant I1).
 func (s *Store) EvictLocalInfo(p xmldb.IDPath) error {
+	s.mutable()
 	n := s.NodeAt(p)
 	if n == nil {
 		return fmt.Errorf("fragment: evict: %s not present", p)
@@ -382,6 +465,7 @@ func (s *Store) EvictLocalInfo(p xmldb.IDPath) error {
 	if st != StatusComplete {
 		return fmt.Errorf("fragment: evict: %s has status %v, not complete", p, st)
 	}
+	track := s.countKnown()
 	id := n.ID()
 	n.Attrs = nil
 	if id != "" {
@@ -393,6 +477,8 @@ func (s *Store) EvictLocalInfo(p xmldb.IDPath) error {
 	for _, c := range n.Children {
 		if c.ID() != "" {
 			kids = append(kids, c)
+		} else if track {
+			s.addNodes(-c.CountNodes())
 		}
 	}
 	n.Children = kids
@@ -403,6 +489,7 @@ func (s *Store) EvictLocalInfo(p xmldb.IDPath) error {
 // bare ID, downgrading it to incomplete. It fails if the node or any
 // descendant is owned by this site.
 func (s *Store) EvictSubtree(p xmldb.IDPath) error {
+	s.mutable()
 	n := s.NodeAt(p)
 	if n == nil {
 		return fmt.Errorf("fragment: evict: %s not present", p)
@@ -421,6 +508,9 @@ func (s *Store) EvictSubtree(p xmldb.IDPath) error {
 	if owned {
 		return fmt.Errorf("fragment: evict: subtree %s contains owned data", p)
 	}
+	if s.countKnown() {
+		s.addNodes(-(n.CountNodes() - 1))
+	}
 	id := n.ID()
 	n.Attrs = nil
 	if id != "" {
@@ -432,12 +522,27 @@ func (s *Store) EvictSubtree(p xmldb.IDPath) error {
 	return nil
 }
 
-// Size returns the number of element nodes stored.
-func (s *Store) Size() int { return s.Root.CountNodes() }
+// Size returns the number of element nodes stored. The count is cached and
+// maintained incrementally by the mutators, so on the query path (answer
+// stores, sealed snapshots) it is O(1) instead of a subtree walk.
+func (s *Store) Size() int {
+	if n := s.nodes.Load(); n > 0 {
+		return int(n)
+	}
+	n := int64(s.Root.CountNodes())
+	s.nodes.Store(n)
+	return int(n)
+}
 
 // CachedCount returns the number of complete (cached, non-owned) IDable
 // nodes in the store — the cache-occupancy figure exposed over /metrics.
+// On sealed stores the walk runs at most once per version.
 func (s *Store) CachedCount() int {
+	if s.sealed {
+		if v := s.cachedN.Load(); v > 0 {
+			return int(v - 1)
+		}
+	}
 	n := 0
 	s.Root.Walk(func(x *xmldb.Node) bool {
 		if StatusOf(x) == StatusComplete {
@@ -445,8 +550,18 @@ func (s *Store) CachedCount() int {
 		}
 		return true
 	})
+	if s.sealed {
+		s.cachedN.Store(int64(n + 1))
+	}
 	return n
 }
 
-// Clone returns a deep copy of the store, for snapshotting in tests.
-func (s *Store) Clone() *Store { return &Store{Root: s.Root.Clone()} }
+// Clone returns a deep, mutable copy of the store, for snapshotting in
+// tests and for nested-plan evaluation working copies.
+func (s *Store) Clone() *Store {
+	c := &Store{Root: s.Root.Clone()}
+	if n := s.nodes.Load(); n > 0 {
+		c.nodes.Store(n)
+	}
+	return c
+}

@@ -28,6 +28,10 @@ type Options struct {
 type Result struct {
 	Fragment   *xmldb.Node
 	Subqueries []Subquery
+	// Nodes is the element-node count of Fragment, taken from the answer
+	// store's incrementally-maintained size so per-node cost accounting
+	// does not re-walk the result.
+	Nodes int
 }
 
 // Evaluate runs the QEG program against the site store. It never mutates
@@ -66,7 +70,7 @@ func Evaluate(store *fragment.Store, plan *Plan, opts Options) (*Result, error) 
 			}
 		}
 	}
-	out := &Result{Fragment: w.ans.Root}
+	out := &Result{Fragment: w.ans.Root, Nodes: w.ans.Size()}
 	keys := make([]string, 0, len(w.subs))
 	for k := range w.subs {
 		keys = append(keys, k)

@@ -3,6 +3,7 @@ package qeg
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"irisnet/internal/xmldb"
 	"irisnet/internal/xpath"
@@ -180,10 +181,16 @@ func reconstructStep(match, axisName, predText string) (*xpath.LocStep, error) {
 // fast path; construct one per organizing agent. The zero value is not
 // usable: NewCompiler "pre-compiles the template program" exactly as an OA
 // does at startup.
+//
+// Compile is safe for concurrent use: sites with more than one CPU slot
+// compile on whichever slot the query landed on, so the plan cache is a
+// sync.Map (lock-free reads once a query's plans are cached; duplicate
+// compilation of a brand-new query is possible and harmless — plans are
+// immutable and either copy wins).
 type Compiler struct {
 	schema *xpath.Schema
 	naive  bool
-	cache  map[string][]*Plan
+	cache  *sync.Map // query text -> []*Plan
 }
 
 // NewCompiler builds a compiler for a service schema. naive selects the
@@ -193,7 +200,7 @@ type Compiler struct {
 func NewCompiler(schema *xpath.Schema, naive bool) *Compiler {
 	c := &Compiler{schema: schema, naive: naive}
 	if !naive {
-		c.cache = map[string][]*Plan{}
+		c.cache = &sync.Map{}
 		// Startup template compilation from a dummy query, as the paper's
 		// organizing agents do.
 		if _, err := CompilePlan("/dummy[@id='x']/probe", schema); err != nil {
@@ -206,8 +213,8 @@ func NewCompiler(schema *xpath.Schema, naive bool) *Compiler {
 // Compile produces the plans (one per union branch) for a query.
 func (c *Compiler) Compile(query string) ([]*Plan, error) {
 	if c.cache != nil {
-		if plans, ok := c.cache[query]; ok {
-			return plans, nil
+		if plans, ok := c.cache.Load(query); ok {
+			return plans.([]*Plan), nil
 		}
 	}
 	var plans []*Plan
@@ -235,7 +242,7 @@ func (c *Compiler) Compile(query string) ([]*Plan, error) {
 		}
 	}
 	if c.cache != nil {
-		c.cache[query] = plans
+		c.cache.Store(query, plans)
 	}
 	return plans, nil
 }

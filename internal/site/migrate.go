@@ -21,10 +21,12 @@ import (
 //  3. the old owner downgrades its copies to complete,
 //  4. the DNS entries are repointed to the new owner.
 //
-// The old owner holds its store lock for the duration, so queries arriving
-// mid-transfer wait and then see a consistent state; queries arriving at
-// the old owner afterwards (stale DNS) are still answerable from its
-// complete copy, and updates are forwarded (site.handleUpdate).
+// The old owner holds its writer mutex for the duration, so no update or
+// merge can slip in mid-transfer; queries keep reading the last published
+// version throughout and then atomically observe the post-transfer state.
+// Queries arriving at the old owner afterwards (stale DNS) are still
+// answerable from its complete copy, and updates are forwarded
+// (site.handleUpdate).
 
 // Delegate transfers ownership of the node at path (and every descendant
 // this site owns) to the named site. It is driven by the load-balancing
@@ -33,21 +35,23 @@ func (s *Site) Delegate(path xmldb.IDPath, newOwner string) error {
 	if newOwner == s.cfg.Name {
 		return fmt.Errorf("site %s: cannot delegate %s to itself", s.cfg.Name, path)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	st := s.state.Load()
 
-	if !s.owned[path.Key()] {
+	if !st.owned[path.Key()] {
 		return fmt.Errorf("site %s: does not own %s", s.cfg.Name, path)
 	}
-	transfer := s.ownedUnderLocked(path)
+	transfer := ownedUnder(st.owned, path)
 
 	// Build the transfer fragment: ancestors' local ID information plus the
 	// local information of every transferred node (exactly the data the new
-	// owner must hold to satisfy I1/I2).
-	frag := fragment.NewStore(s.store.Root.Name, s.store.Root.ID())
+	// owner must hold to satisfy I1/I2). Reads go against the published
+	// (immutable) version.
+	frag := fragment.NewStore(st.store.Root.Name, st.store.Root.ID())
 	for _, p := range transfer {
 		for i := 1; i < len(p); i++ {
-			anc := s.store.NodeAt(p[:i])
+			anc := st.store.NodeAt(p[:i])
 			if anc == nil {
 				return fmt.Errorf("site %s: ancestor %s missing (I2 violation)", s.cfg.Name, p[:i])
 			}
@@ -55,7 +59,7 @@ func (s *Site) Delegate(path xmldb.IDPath, newOwner string) error {
 				return err
 			}
 		}
-		n := s.store.NodeAt(p)
+		n := st.store.NodeAt(p)
 		if err := frag.InstallLocalInfo(p, fragment.LocalInfo(n), fragment.StatusComplete); err != nil {
 			return err
 		}
@@ -67,7 +71,7 @@ func (s *Site) Delegate(path xmldb.IDPath, newOwner string) error {
 	}
 	take := &Message{
 		Kind:     KindTake,
-		Fragment: frag.Root.String(),
+		Fragment: frag.Root.StringSized(frag.Size()),
 		Paths:    keys,
 	}
 	respB, err := s.call.Call(context.Background(), newOwner, take.Encode())
@@ -83,14 +87,20 @@ func (s *Site) Delegate(path xmldb.IDPath, newOwner string) error {
 	}
 
 	// Step 3: downgrade local copies; step 4: repoint DNS (the atomic
-	// commit point from the rest of the system's perspective).
+	// commit point from the rest of the system's perspective). The store
+	// downgrade, ownership table and forwarding table change together in
+	// one published version.
+	w := st.store.Begin()
+	owned := copyOwned(st.owned)
+	migrated := copyMigrated(st.migrated)
 	for _, p := range transfer {
-		delete(s.owned, p.Key())
-		s.migrated[p.Key()] = newOwner
-		if n := s.store.NodeAt(p); n != nil {
-			fragment.SetStatus(n, fragment.StatusComplete)
-		}
+		delete(owned, p.Key())
+		migrated[p.Key()] = newOwner
+		// Ignore a missing node: ownership of a stub can be delegated even
+		// though there is nothing to downgrade (mirrors the pre-COW code).
+		_ = w.SetStatusAt(p, fragment.StatusComplete)
 	}
+	s.publishLocked(&siteState{store: w.Commit(), owned: owned, migrated: migrated})
 	if s.cfg.Registry != nil {
 		for _, p := range transfer {
 			s.cfg.Registry.Set(naming.DNSName(p, s.cfg.Service), newOwner)
@@ -102,11 +112,11 @@ func (s *Site) Delegate(path xmldb.IDPath, newOwner string) error {
 	return nil
 }
 
-// ownedUnderLocked returns the sorted owned paths at or below path.
-func (s *Site) ownedUnderLocked(path xmldb.IDPath) []xmldb.IDPath {
+// ownedUnder returns the sorted owned paths at or below path.
+func ownedUnder(owned map[string]bool, path xmldb.IDPath) []xmldb.IDPath {
 	prefix := path.Key()
 	var out []xmldb.IDPath
-	for k := range s.owned {
+	for k := range owned {
 		if k == prefix || strings.HasPrefix(k, prefix+"/") {
 			p, err := xmldb.ParseIDPath(k)
 			if err != nil {
@@ -147,21 +157,24 @@ func (s *Site) handleTake(msg *Message) *Message {
 	}
 	var takeErr error
 	s.cpu.Do(func() {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		if takeErr = s.store.MergeFragment(frag); takeErr != nil {
+		s.wmu.Lock()
+		defer s.wmu.Unlock()
+		st := s.state.Load()
+		w := st.store.Begin()
+		if takeErr = w.MergeFragment(frag); takeErr != nil {
 			return
 		}
+		owned := copyOwned(st.owned)
+		migrated := copyMigrated(st.migrated)
 		for _, p := range paths {
-			n := s.store.NodeAt(p)
-			if n == nil {
+			if err := w.SetStatusAt(p, fragment.StatusOwned); err != nil {
 				takeErr = fmt.Errorf("site %s: transferred node %s missing after merge", s.cfg.Name, p)
 				return
 			}
-			fragment.SetStatus(n, fragment.StatusOwned)
-			s.owned[p.Key()] = true
-			delete(s.migrated, p.Key())
+			owned[p.Key()] = true
+			delete(migrated, p.Key())
 		}
+		s.publishLocked(&siteState{store: w.Commit(), owned: owned, migrated: migrated})
 	})
 	if takeErr != nil {
 		return errorMessage(takeErr)

@@ -41,17 +41,25 @@ const (
 	OpDelIDable SchemaOp = "del-idable"
 )
 
-// SchemaChange applies one schema operation to the owned node at path.
+// SchemaChange applies one schema operation to the owned node at path. Like
+// every other write it is a copy-on-write transaction: the operation builds
+// the next store version and publishes it together with any ownership-table
+// change, so concurrent queries see either the old or the new schema, never
+// a half-applied one.
 func (s *Site) SchemaChange(op SchemaOp, p xmldb.IDPath, args map[string]string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if !s.owned[p.Key()] {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	st := s.state.Load()
+	if !st.owned[p.Key()] {
 		return fmt.Errorf("site %s: schema change on unowned node %s", s.cfg.Name, p)
 	}
-	n := s.store.NodeAt(p)
-	if n == nil {
+	w := st.store.Begin()
+	n, err := w.Touch(p)
+	if err != nil {
 		return fmt.Errorf("site %s: owned node %s missing", s.cfg.Name, p)
 	}
+	owned := st.owned // replaced with a copy by the ops that change it
+	var registry func()
 	switch op {
 	case OpSetAttrs:
 		for name, val := range args {
@@ -72,7 +80,7 @@ func (s *Site) SchemaChange(op SchemaOp, p xmldb.IDPath, args map[string]string)
 		if name == "" {
 			return fmt.Errorf("site %s: add-child needs a name", s.cfg.Name)
 		}
-		c := n.AddChild(xmldb.NewNode(name))
+		c := w.AddChild(n, xmldb.NewNode(name))
 		c.Text = args["text"]
 	case OpDelChild:
 		name := args["name"]
@@ -81,7 +89,7 @@ func (s *Site) SchemaChange(op SchemaOp, p xmldb.IDPath, args map[string]string)
 			if c.ID() != "" {
 				return fmt.Errorf("site %s: %q is IDable; use del-idable", s.cfg.Name, name)
 			}
-			n.RemoveChild(c)
+			w.RemoveChild(n, c)
 			removed = true
 		}
 		if !removed {
@@ -95,12 +103,13 @@ func (s *Site) SchemaChange(op SchemaOp, p xmldb.IDPath, args map[string]string)
 		if n.Child(name, id) != nil {
 			return fmt.Errorf("site %s: child <%s id=%q> already exists", s.cfg.Name, name, id)
 		}
-		child := n.AddChild(xmldb.NewElem(name, id))
+		child := w.AddChild(n, xmldb.NewElem(name, id))
 		fragment.SetStatus(child, fragment.StatusOwned)
 		cp := p.Child(name, id)
-		s.owned[cp.Key()] = true
+		owned = copyOwned(st.owned)
+		owned[cp.Key()] = true
 		if s.cfg.Registry != nil {
-			s.cfg.Registry.Set(naming.DNSName(cp, s.cfg.Service), s.cfg.Name)
+			registry = func() { s.cfg.Registry.Set(naming.DNSName(cp, s.cfg.Service), s.cfg.Name) }
 		}
 	case OpDelIDable:
 		name, id := args["name"], args["id"]
@@ -109,11 +118,15 @@ func (s *Site) SchemaChange(op SchemaOp, p xmldb.IDPath, args map[string]string)
 			return fmt.Errorf("site %s: no child <%s id=%q> under %s", s.cfg.Name, name, id, p)
 		}
 		cp := p.Child(name, id)
-		// Every node in the deleted subtree must be owned here.
+		// Every node in the deleted subtree must be owned here. The walk
+		// only reads; IDPathOf climbs parent pointers that, on shared
+		// nodes, lead through the previous version — the names and ids
+		// along a spine never change between versions, so the keys are
+		// still correct.
 		var unowned bool
 		child.Walk(func(x *xmldb.Node) bool {
 			if x.ID() != "" || x == child {
-				if xp, ok := xmldb.IDPathOf(x); ok && !s.owned[xp.Key()] {
+				if xp, ok := xmldb.IDPathOf(x); ok && !st.owned[xp.Key()] {
 					unowned = true
 					return false
 				}
@@ -123,16 +136,21 @@ func (s *Site) SchemaChange(op SchemaOp, p xmldb.IDPath, args map[string]string)
 		if unowned {
 			return fmt.Errorf("site %s: subtree %s has nodes owned elsewhere; migrate first", s.cfg.Name, cp)
 		}
-		n.RemoveChild(child)
-		for k := range s.owned {
+		w.RemoveChild(n, child)
+		owned = copyOwned(st.owned)
+		for k := range owned {
 			if k == cp.Key() || len(k) > len(cp.Key()) && k[:len(cp.Key())+1] == cp.Key()+"/" {
-				delete(s.owned, k)
+				delete(owned, k)
 			}
 		}
 	default:
 		return fmt.Errorf("site %s: unknown schema op %q", s.cfg.Name, op)
 	}
 	fragment.SetTimestamp(n, s.cfg.Clock())
+	s.publishLocked(&siteState{store: w.Commit(), owned: owned, migrated: st.migrated})
+	if registry != nil {
+		registry()
+	}
 	return nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"log/slog"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"irisnet/internal/fragment"
@@ -47,6 +48,12 @@ type Config struct {
 	// CPUSlots is the number of concurrent CPU-bound message-processing
 	// slots (1 models the paper's single-CPU machines).
 	CPUSlots int
+	// CoarseLocking reinstates the pre-snapshot concurrency control for
+	// benchmarking: query evaluation holds a reader-writer lock that every
+	// update and cache merge takes exclusively, so reads and writes
+	// serialize exactly as they did before the copy-on-write design. It
+	// exists only as the "before" arm of irisbench -exp read-write-mix.
+	CoarseLocking bool
 	// QueryWork, PerNodeWork and UpdateWork model the paper's heavier XML
 	// backend (Xindice + Xalan cost milliseconds per operation where this
 	// native engine costs microseconds): each query evaluation holds the
@@ -112,7 +119,27 @@ func (s *Site) Register(r *metrics.Registry) {
 		func() float64 { return float64(s.ownedCount()) })
 }
 
+// siteState is one immutable version of everything a reader needs in a
+// single consistent view: the sealed store plus the ownership and
+// forwarding tables that must agree with it. Writers build a new siteState
+// (copy-on-write for the store, copied maps when the tables change) and
+// publish it with one atomic store, so a query never observes a store that
+// disagrees with the ownership tables.
+type siteState struct {
+	store    *fragment.Store
+	owned    map[string]bool
+	migrated map[string]string // old-owner forwarding table: ID-path key -> new owner
+}
+
 // Site is one organizing agent.
+//
+// Concurrency model (DESIGN.md §9): readers — query evaluation, admin and
+// debug views, occupancy gauges — load the current siteState with one
+// atomic pointer read and never lock. Writers — sensor updates, cache
+// merges, migrations, schema changes, evictions — serialize on wmu, build
+// the next version via fragment.COW path-copying, and publish it
+// atomically; because each writer starts from the version the previous
+// writer published, no writer can lose another's changes.
 type Site struct {
 	cfg      Config
 	log      *slog.Logger
@@ -120,10 +147,13 @@ type Site struct {
 	compiler *qeg.Compiler
 	call     *transport.Caller
 
-	mu       sync.RWMutex
-	store    *fragment.Store
-	owned    map[string]bool
-	migrated map[string]string // old-owner forwarding table: ID-path key -> new owner
+	// wmu serializes writers; readers never take it.
+	wmu   sync.Mutex
+	state atomic.Pointer[siteState]
+
+	// coarse reinstates read/write serialization when cfg.CoarseLocking is
+	// set (benchmark baseline only); otherwise it is never touched.
+	coarse sync.RWMutex
 
 	Metrics Metrics
 }
@@ -142,10 +172,12 @@ func New(cfg Config, rootName, rootID string) *Site {
 		log:      cfg.Logger,
 		cpu:      transport.NewCPU(cfg.CPUSlots),
 		compiler: qeg.NewCompiler(cfg.Schema, cfg.NaivePlans),
-		store:    fragment.NewStore(rootName, rootID),
+	}
+	s.state.Store(&siteState{
+		store:    fragment.NewStore(rootName, rootID).Seal(),
 		owned:    map[string]bool{},
 		migrated: map[string]string{},
-	}
+	})
 	s.Metrics.Breakdown = metrics.NewBreakdown()
 	s.call = &transport.Caller{
 		Net:        cfg.Net,
@@ -159,16 +191,20 @@ func New(cfg Config, rootName, rootID string) *Site {
 }
 
 // Load installs an initial store and owned set produced by
-// fragment.Partition.
+// fragment.Partition. The store is sealed: from here on every mutation
+// goes through the copy-on-write write path.
 func (s *Site) Load(store *fragment.Store, owned []xmldb.IDPath) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.store = store
-	s.owned = map[string]bool{}
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	o := make(map[string]bool, len(owned))
 	for _, p := range owned {
-		s.owned[p.Key()] = true
+		o[p.Key()] = true
 	}
+	s.state.Store(&siteState{store: store.Seal(), owned: o, migrated: map[string]string{}})
 }
+
+// publishLocked swaps in the next version. Callers hold wmu.
+func (s *Site) publishLocked(st *siteState) { s.state.Store(st) }
 
 // Start registers the site on the network.
 func (s *Site) Start() error {
@@ -181,19 +217,17 @@ func (s *Site) Stop() { s.cfg.Net.Unregister(s.cfg.Name) }
 // Name returns the site's transport name.
 func (s *Site) Name() string { return s.cfg.Name }
 
-// StoreSnapshot returns a deep copy of the site database (tests/tools).
+// StoreSnapshot returns a deep, mutable copy of the site database
+// (tests/tools).
 func (s *Site) StoreSnapshot() *fragment.Store {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.store.Clone()
+	return s.state.Load().store.Clone()
 }
 
 // OwnedPaths returns the keys of owned nodes (tests/tools).
 func (s *Site) OwnedPaths() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.owned))
-	for k := range s.owned {
+	st := s.state.Load()
+	out := make([]string, 0, len(st.owned))
+	for k := range st.owned {
 		out = append(out, k)
 	}
 	return out
@@ -201,23 +235,17 @@ func (s *Site) OwnedPaths() []string {
 
 // StoreSize returns the number of element nodes in the site database.
 func (s *Site) StoreSize() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.store.Size()
+	return s.state.Load().store.Size()
 }
 
 // CachedFragments returns the number of complete, non-owned IDable nodes in
 // the store — the cache occupancy /metrics and /debug/fragment report.
 func (s *Site) CachedFragments() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.store.CachedCount()
+	return s.state.Load().store.CachedCount()
 }
 
 func (s *Site) ownedCount() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.owned)
+	return len(s.state.Load().owned)
 }
 
 // DebugInfo is the /debug/fragment view of one site: what it owns, how big
@@ -230,23 +258,23 @@ type DebugInfo struct {
 	Forwarding      map[string]string `json:"forwarding,omitempty"`
 }
 
-// Debug snapshots the site's observability view under the store lock.
+// Debug snapshots the site's observability view from one published
+// version, without blocking queries or writers.
 func (s *Site) Debug() DebugInfo {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	st := s.state.Load()
 	d := DebugInfo{
 		Site:            s.cfg.Name,
-		StoreNodes:      s.store.Size(),
-		CachedFragments: s.store.CachedCount(),
-		Owned:           make([]string, 0, len(s.owned)),
+		StoreNodes:      st.store.Size(),
+		CachedFragments: st.store.CachedCount(),
+		Owned:           make([]string, 0, len(st.owned)),
 	}
-	for k := range s.owned {
+	for k := range st.owned {
 		d.Owned = append(d.Owned, k)
 	}
 	sort.Strings(d.Owned)
-	if len(s.migrated) > 0 {
-		d.Forwarding = make(map[string]string, len(s.migrated))
-		for k, v := range s.migrated {
+	if len(st.migrated) > 0 {
+		d.Forwarding = make(map[string]string, len(st.migrated))
+		for k, v := range st.migrated {
 			d.Forwarding[k] = v
 		}
 	}
@@ -255,9 +283,7 @@ func (s *Site) Debug() DebugInfo {
 
 // Owns reports whether the site currently owns the node.
 func (s *Site) Owns(p xmldb.IDPath) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.owned[p.Key()]
+	return s.state.Load().owned[p.Key()]
 }
 
 // Handle is the transport entry point. The effective deadline is the
@@ -363,11 +389,15 @@ func (s *Site) handleQuery(ctx context.Context, msg *Message, reqBytes int) *Mes
 
 	var execTime, commTime time.Duration
 	for _, plan := range plans {
-		var work *fragment.Store // nil = evaluate the live store
+		// One atomic load pins this plan's snapshot; evaluation runs
+		// lock-free against the sealed version. Nested plans evaluate a
+		// deep working copy (they splice sub-answers into it between
+		// rounds and may navigate parent axes, which structural sharing
+		// does not preserve).
+		snap := s.state.Load().store
+		var work *fragment.Store // nil = evaluate the published snapshot
 		if plan.NestedIdx >= 0 {
-			s.mu.RLock()
-			work = s.store.Clone()
-			s.mu.RUnlock()
+			work = snap.Clone()
 		}
 		for round := 0; ; round++ {
 			if round > 64 {
@@ -379,15 +409,17 @@ func (s *Site) handleQuery(ctx context.Context, msg *Message, reqBytes int) *Mes
 			s.cpu.Do(func() {
 				if work != nil {
 					res, evalErr = qeg.Evaluate(work, plan, opts)
+				} else if s.cfg.CoarseLocking {
+					s.coarse.RLock()
+					res, evalErr = qeg.Evaluate(snap, plan, opts)
+					s.coarse.RUnlock()
 				} else {
-					s.mu.RLock()
-					res, evalErr = qeg.Evaluate(s.store, plan, opts)
-					s.mu.RUnlock()
+					res, evalErr = qeg.Evaluate(snap, plan, opts)
 				}
 				if s.cfg.QueryWork > 0 || s.cfg.PerNodeWork > 0 {
 					cost := s.cfg.QueryWork
 					if s.cfg.PerNodeWork > 0 && res != nil {
-						cost += time.Duration(res.Fragment.CountNodes()) * s.cfg.PerNodeWork
+						cost += time.Duration(res.Nodes) * s.cfg.PerNodeWork
 					}
 					spin(cost)
 				}
@@ -458,12 +490,10 @@ func (s *Site) handleQuery(ctx context.Context, msg *Message, reqBytes int) *Mes
 					if mergeErr == nil {
 						mergeErr = ans.MergeFragment(sub)
 					}
-					if mergeErr == nil && s.cfg.Caching {
-						s.mu.Lock()
-						mergeErr = s.store.MergeFragment(sub)
-						s.mu.Unlock()
-					}
 				})
+				if mergeErr == nil && s.cfg.Caching {
+					mergeErr = s.mergeCache(sub)
+				}
 				if mergeErr != nil {
 					return errorMessage(fmt.Errorf("site %s: splicing subanswer: %w", s.cfg.Name, mergeErr))
 				}
@@ -503,7 +533,7 @@ func (s *Site) handleQuery(ctx context.Context, msg *Message, reqBytes int) *Mes
 
 	var out string
 	s.cpu.Do(func() {
-		out = ans.Root.String()
+		out = ans.Root.StringSized(ans.Size())
 	})
 	total := time.Since(t0)
 	s.Metrics.Breakdown.Add("rest", total-execTime-commTime)
@@ -535,6 +565,26 @@ func (s *Site) handleQuery(ctx context.Context, msg *Message, reqBytes int) *Mes
 		slog.Bool("cache_hit", !askedAny), slog.Int("fanout", fanout),
 		slog.Int("unreachable", len(res.Unreachable)))
 	return res
+}
+
+// mergeCache folds a sub-answer into the site database through the
+// copy-on-write write path: take the writer mutex, build the next version
+// from the latest published one, publish. Queries in flight keep reading
+// the version they pinned; the next snapshot load sees the cached data.
+func (s *Site) mergeCache(frag *xmldb.Node) error {
+	if s.cfg.CoarseLocking {
+		s.coarse.Lock()
+		defer s.coarse.Unlock()
+	}
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	st := s.state.Load()
+	w := st.store.Begin()
+	if err := w.MergeFragment(frag); err != nil {
+		return err
+	}
+	s.publishLocked(&siteState{store: w.Commit(), owned: st.owned, migrated: st.migrated})
+	return nil
 }
 
 // finishSpan folds the context-scoped resilience tallies into the span.
@@ -627,12 +677,13 @@ func (s *Site) handleUpdate(ctx context.Context, msg *Message) *Message {
 	var owned bool
 	var applyErr error
 	s.cpu.Do(func() {
-		s.mu.Lock()
-		owned = s.owned[p.Key()]
+		s.wmu.Lock()
+		st := s.state.Load()
+		owned = st.owned[p.Key()]
 		if owned {
-			applyErr = s.applyUpdateLocked(p, msg.Fields, msg.Attrs)
+			applyErr = s.applyUpdateLocked(st, p, msg.Fields, msg.Attrs)
 		}
-		s.mu.Unlock()
+		s.wmu.Unlock()
 		if owned {
 			s.updateCost()
 		}
@@ -671,45 +722,34 @@ func (s *Site) updateCost() {
 	}
 }
 
-func (s *Site) applyUpdateLocked(p xmldb.IDPath, fields, attrs map[string]string) error {
-	n := s.store.NodeAt(p)
-	if n == nil {
+// applyUpdateLocked builds and publishes the next store version with the
+// update applied. Callers hold wmu; st is the version they loaded under it.
+func (s *Site) applyUpdateLocked(st *siteState, p xmldb.IDPath, fields, attrs map[string]string) error {
+	if s.cfg.CoarseLocking {
+		s.coarse.Lock()
+		defer s.coarse.Unlock()
+	}
+	w := st.store.Begin()
+	if err := w.ApplyUpdate(p, fields, attrs, s.cfg.Clock()); err != nil {
 		return fmt.Errorf("site %s: owned node %s missing from store", s.cfg.Name, p)
 	}
-	for name, val := range fields {
-		c := n.ChildNamed(name)
-		if c == nil {
-			c = n.AddChild(xmldb.NewNode(name))
-		}
-		c.Text = val
-	}
-	for name, val := range attrs {
-		if name == xmldb.AttrID || name == xmldb.AttrStatus {
-			continue // structural attributes are not sensor data
-		}
-		n.SetAttr(name, val)
-	}
-	fragment.SetTimestamp(n, s.cfg.Clock())
+	s.publishLocked(&siteState{store: w.Commit(), owned: st.owned, migrated: st.migrated})
 	return nil
 }
 
 // forwardTarget reports whether the query's LCA falls inside a subtree
 // this site delegated away, and to whom.
 func (s *Site) forwardTarget(query string) (string, bool) {
-	s.mu.RLock()
-	n := len(s.migrated)
-	s.mu.RUnlock()
-	if n == 0 {
+	st := s.state.Load()
+	if len(st.migrated) == 0 {
 		return "", false
 	}
 	lca, err := qeg.LCAPath(query)
 	if err != nil {
 		return "", false
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	for q := lca; len(q) > 0; q = q[:len(q)-1] {
-		if to, ok := s.migrated[xmldb.IDPath(q).Key()]; ok {
+		if to, ok := st.migrated[xmldb.IDPath(q).Key()]; ok {
 			return to, true
 		}
 	}
@@ -717,15 +757,30 @@ func (s *Site) forwardTarget(query string) (string, bool) {
 }
 
 func (s *Site) rootName() string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.store.Root.Name
+	return s.state.Load().store.Root.Name
 }
 
 func (s *Site) rootID() string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.store.Root.ID()
+	return s.state.Load().store.Root.ID()
+}
+
+// copyOwned returns a private copy of an owned table about to change.
+// Published maps are immutable: readers iterate them without locks.
+func copyOwned(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// copyMigrated is copyOwned for the forwarding table.
+func copyMigrated(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
 }
 
 // spin holds the caller's CPU slot for d. Sleeping (rather than busy

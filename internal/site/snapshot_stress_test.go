@@ -1,0 +1,199 @@
+package site
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"irisnet/internal/fragment"
+	"irisnet/internal/xmldb"
+)
+
+// TestSnapshotConsistencyUnderConcurrency exercises the copy-on-write
+// snapshot path: sequential writers per target (so the expected final value
+// is known), readers asserting per-reader monotonic freshness, and a
+// migration worker bouncing ownership of the hottest block — all at once.
+// It fails if any acknowledged update is lost, if a reader ever observes a
+// value going backwards (time travel between snapshots), or if the final
+// stores violate I1/I2 or the incremental node-count accounting.
+//
+// The deployment runs with caching disabled, so every answer comes from the
+// owner's current snapshot and strict monotonicity must hold; with caching
+// on, bounded staleness is the documented semantics instead.
+func TestSnapshotConsistencyUnderConcurrency(t *testing.T) {
+	d := deploy(t, false)
+
+	// Update targets: every space of the block the migration worker bounces,
+	// plus one space in a block that never migrates.
+	hotBlock := d.db.BlockPath(0, 0, 0)
+	var targets []xmldb.IDPath
+	for _, p := range d.db.SpacePaths {
+		if strings.HasPrefix(p.Key(), hotBlock.Key()+"/") {
+			targets = append(targets, p)
+		}
+	}
+	coldBlock := d.db.BlockPath(1, 1, 1)
+	for _, p := range d.db.SpacePaths {
+		if strings.HasPrefix(p.Key(), coldBlock.Key()+"/") {
+			targets = append(targets, p)
+			break
+		}
+	}
+	if len(targets) < 2 {
+		t.Fatalf("want at least two targets, got %d", len(targets))
+	}
+
+	const updates = 30 // per target, sequential and acknowledged
+	const readIters = 60
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var anomalies []string
+	fail := func(msg string) {
+		mu.Lock()
+		anomalies = append(anomalies, msg)
+		mu.Unlock()
+	}
+
+	// One sequential writer per target: value k is only sent after value
+	// k-1 was acknowledged, so the value stored at the owner can only grow.
+	for _, target := range targets {
+		wg.Add(1)
+		go func(target xmldb.IDPath) {
+			defer wg.Done()
+			owner := d.assign.OwnerOf(target)
+			for v := 1; v <= updates; v++ {
+				msg := &Message{Kind: KindUpdate, Path: target.String(),
+					Fields: map[string]string{"available": strconv.Itoa(v)}}
+				respB, err := d.net.Call(owner, msg.Encode())
+				if err != nil {
+					fail("update " + target.String() + ": " + err.Error())
+					return
+				}
+				if resp, err := DecodeMessage(respB); err != nil {
+					fail("update decode: " + err.Error())
+					return
+				} else if e := resp.AsError(); e != nil {
+					fail("update " + target.String() + ": " + e.Error())
+					return
+				}
+			}
+		}(target)
+	}
+
+	// Readers: each tracks the last value it saw per target and demands it
+	// never decreases. Queries enter at the root site, so they cross the
+	// forwarding tables of whichever sites currently own the data.
+	readValue := func(frag *xmldb.Node, p xmldb.IDPath) (int, bool) {
+		n := xmldb.FindByIDPath(frag, p)
+		if n == nil {
+			return 0, false
+		}
+		av := n.ChildNamed("available")
+		if av == nil {
+			return 0, false
+		}
+		v, err := strconv.Atoi(av.Text)
+		if err != nil {
+			return 0, true // pre-test value ("yes"/"no"): counts as 0
+		}
+		return v, true
+	}
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			lastSeen := map[string]int{}
+			for i := 0; i < readIters; i++ {
+				target := targets[(r+i)%len(targets)]
+				msg := &Message{Kind: KindQuery, Query: target.String()}
+				respB, err := d.net.Call("root-site", msg.Encode())
+				if err != nil {
+					fail("query " + target.String() + ": " + err.Error())
+					continue
+				}
+				resp, err := DecodeMessage(respB)
+				if err != nil {
+					fail("query decode: " + err.Error())
+					continue
+				}
+				if e := resp.AsError(); e != nil {
+					fail("query " + target.String() + ": " + e.Error())
+					continue
+				}
+				frag, err := xmldb.ParseString(resp.Fragment)
+				if err != nil {
+					fail("answer parse: " + err.Error())
+					continue
+				}
+				v, ok := readValue(frag, target)
+				if !ok {
+					fail("answer for " + target.String() + " missing the target node")
+					continue
+				}
+				if prev := lastSeen[target.Key()]; v < prev {
+					fail("reader saw " + target.String() + " go backwards: " +
+						strconv.Itoa(prev) + " then " + strconv.Itoa(v))
+				} else {
+					lastSeen[target.Key()] = v
+				}
+			}
+		}(r)
+	}
+
+	// Migration worker: bounce the hot block between its neighborhood owner
+	// and the root site while updates and reads are in flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		nb := d.sites[d.assign.OwnerOf(hotBlock)]
+		root := d.sites["root-site"]
+		from, to := nb, root
+		for i := 0; i < 8; i++ {
+			if err := from.Delegate(hotBlock, to.Name()); err != nil {
+				fail("delegate " + hotBlock.String() + ": " + err.Error())
+				return
+			}
+			from, to = to, from
+		}
+	}()
+
+	wg.Wait()
+	for _, a := range anomalies {
+		t.Error(a)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// No lost updates: the last acknowledged value of every target is what a
+	// fresh query returns, and what the current owner stores.
+	for _, target := range targets {
+		frag := d.query(t, "root-site", target.String())
+		v, ok := readValue(frag, target)
+		if !ok || v != updates {
+			t.Errorf("final value of %s = %d (ok=%v), want %d", target, v, ok, updates)
+		}
+	}
+
+	// Structural invariants and count accounting on every site's final
+	// published version.
+	for name, s := range d.sites {
+		snap := s.StoreSnapshot()
+		var owned []xmldb.IDPath
+		for _, k := range s.OwnedPaths() {
+			p, err := xmldb.ParseIDPath(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			owned = append(owned, p)
+		}
+		if errs := fragment.CheckInvariants(snap, d.db.Doc, owned, false); len(errs) > 0 {
+			t.Errorf("site %s invariants after stress: %v", name, errs)
+		}
+		if got, want := snap.Size(), snap.Root.CountNodes(); got != want {
+			t.Errorf("site %s: Size() = %d but walk counts %d", name, got, want)
+		}
+	}
+}

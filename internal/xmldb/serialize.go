@@ -2,91 +2,164 @@ package xmldb
 
 import (
 	"io"
-	"strings"
+	"sync"
 )
+
+// Serialization renders into pooled byte buffers: every query answer is
+// re-serialized on every hop of the gather path, so the per-call
+// strings.Builder growth was a measurable share of wire cost. Buffers are
+// pooled in size classes and pre-sized from the caller's cached node count
+// when one is available (StringSized), and escaping scans each string once
+// with a byte loop that copies clean spans in bulk.
+
+// bytesPerNodeHint is the pre-sizing estimate for one element node: tag
+// open/close, an id/status/ts attribute set, and a short text payload.
+const bytesPerNodeHint = 48
+
+// bufClasses are the pooled buffer capacities. Renders that exceed their
+// class grow the slice normally; the grown buffer is returned to the class
+// matching its final capacity.
+var bufClasses = [...]int{1 << 10, 1 << 14, 1 << 18, 1 << 22}
+
+var bufPools [len(bufClasses)]sync.Pool
+
+// getBuf returns an empty buffer with capacity at least hint (hint 0 takes
+// the smallest class).
+func getBuf(hint int) *[]byte {
+	for i, size := range bufClasses {
+		if hint <= size {
+			if v := bufPools[i].Get(); v != nil {
+				return v.(*[]byte)
+			}
+			b := make([]byte, 0, size)
+			return &b
+		}
+	}
+	b := make([]byte, 0, hint)
+	return &b
+}
+
+// putBuf recycles a buffer into the largest size class its capacity fills.
+func putBuf(bp *[]byte) {
+	c := cap(*bp)
+	for i := len(bufClasses) - 1; i >= 0; i-- {
+		if c >= bufClasses[i] {
+			*bp = (*bp)[:0]
+			bufPools[i].Put(bp)
+			return
+		}
+	}
+	// Smaller than every class (caller-grown oddity): drop it.
+}
 
 // String renders the subtree as compact XML (no insignificant whitespace).
 func (n *Node) String() string {
-	var sb strings.Builder
-	writeXML(&sb, n, -1, 0)
-	return sb.String()
+	return n.StringSized(0)
+}
+
+// StringSized renders the subtree as compact XML, pre-sizing the buffer
+// for nodeCount element nodes. Callers holding a cached count (e.g.
+// fragment.Store.Size) avoid both the re-walk and the builder growth.
+func (n *Node) StringSized(nodeCount int) string {
+	bp := getBuf(nodeCount * bytesPerNodeHint)
+	*bp = appendXML((*bp)[:0], n, -1, 0)
+	s := string(*bp)
+	putBuf(bp)
+	return s
 }
 
 // Indented renders the subtree as indented XML, two spaces per level.
 func (n *Node) Indented() string {
-	var sb strings.Builder
-	writeXML(&sb, n, 0, 0)
-	return sb.String()
+	bp := getBuf(0)
+	*bp = appendXML((*bp)[:0], n, 0, 0)
+	s := string(*bp)
+	putBuf(bp)
+	return s
 }
 
 // WriteXML writes the subtree as compact XML to w.
 func (n *Node) WriteXML(w io.Writer) error {
-	var sb strings.Builder
-	writeXML(&sb, n, -1, 0)
-	_, err := io.WriteString(w, sb.String())
+	bp := getBuf(0)
+	*bp = appendXML((*bp)[:0], n, -1, 0)
+	_, err := w.Write(*bp)
+	putBuf(bp)
 	return err
 }
 
-func writeXML(sb *strings.Builder, n *Node, indent, depth int) {
-	pad := func() {
-		if indent >= 0 {
+func appendXML(dst []byte, n *Node, indent, depth int) []byte {
+	pretty := indent >= 0
+	if pretty {
+		for i := 0; i < depth*2; i++ {
+			dst = append(dst, ' ')
+		}
+	}
+	dst = append(dst, '<')
+	dst = append(dst, n.Name...)
+	for _, a := range n.Attrs {
+		dst = append(dst, ' ')
+		dst = append(dst, a.Name...)
+		dst = append(dst, '=', '"')
+		dst = appendEscaped(dst, a.Value)
+		dst = append(dst, '"')
+	}
+	if len(n.Children) == 0 && n.Text == "" {
+		dst = append(dst, '/', '>')
+		if pretty {
+			dst = append(dst, '\n')
+		}
+		return dst
+	}
+	dst = append(dst, '>')
+	if n.Text != "" {
+		dst = appendEscaped(dst, n.Text)
+	}
+	if len(n.Children) > 0 {
+		if pretty {
+			dst = append(dst, '\n')
+		}
+		for _, c := range n.Children {
+			dst = appendXML(dst, c, indent, depth+1)
+		}
+		if pretty {
 			for i := 0; i < depth*2; i++ {
-				sb.WriteByte(' ')
+				dst = append(dst, ' ')
 			}
 		}
 	}
-	nl := func() {
-		if indent >= 0 {
-			sb.WriteByte('\n')
-		}
+	dst = append(dst, '<', '/')
+	dst = append(dst, n.Name...)
+	dst = append(dst, '>')
+	if pretty {
+		dst = append(dst, '\n')
 	}
-	pad()
-	sb.WriteByte('<')
-	sb.WriteString(n.Name)
-	for _, a := range n.Attrs {
-		sb.WriteByte(' ')
-		sb.WriteString(a.Name)
-		sb.WriteString(`="`)
-		escapeInto(sb, a.Value)
-		sb.WriteByte('"')
-	}
-	if len(n.Children) == 0 && n.Text == "" {
-		sb.WriteString("/>")
-		nl()
-		return
-	}
-	sb.WriteByte('>')
-	if n.Text != "" {
-		escapeInto(sb, n.Text)
-	}
-	if len(n.Children) > 0 {
-		nl()
-		for _, c := range n.Children {
-			writeXML(sb, c, indent, depth+1)
-		}
-		pad()
-	}
-	sb.WriteString("</")
-	sb.WriteString(n.Name)
-	sb.WriteByte('>')
-	nl()
+	return dst
 }
 
-func escapeInto(sb *strings.Builder, s string) {
-	for _, r := range s {
-		switch r {
+// appendEscaped XML-escapes s into dst in a single pass. All escapable
+// characters are ASCII, so the byte loop is UTF-8 safe; spans without
+// specials — the overwhelmingly common case for sensor data — are copied
+// in one append.
+func appendEscaped(dst []byte, s string) []byte {
+	start := 0
+	for i := 0; i < len(s); i++ {
+		var esc string
+		switch s[i] {
 		case '&':
-			sb.WriteString("&amp;")
+			esc = "&amp;"
 		case '<':
-			sb.WriteString("&lt;")
+			esc = "&lt;"
 		case '>':
-			sb.WriteString("&gt;")
+			esc = "&gt;"
 		case '"':
-			sb.WriteString("&quot;")
+			esc = "&quot;"
 		case '\'':
-			sb.WriteString("&apos;")
+			esc = "&apos;"
 		default:
-			sb.WriteRune(r)
+			continue
 		}
+		dst = append(dst, s[start:i]...)
+		dst = append(dst, esc...)
+		start = i + 1
 	}
+	return append(dst, s[start:]...)
 }
