@@ -29,8 +29,12 @@ test:
 race-stress:
 	$(GO) test -race -count=3 -run 'Concurrent|Snapshot|COW' ./internal/site ./internal/qeg ./internal/fragment
 
+# Micro-benchmarks one iteration each, plus the batching experiment in
+# smoke mode: short arms, but the acceptance comparisons (RPC reduction,
+# coalescing, single-subquery parity) are still computed and printed.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+	$(GO) run ./cmd/irisbench -exp batching -short
 
 # Boots a real irisnetd on the demo topology and curls its observability
 # endpoint: /healthz must answer ok, /metrics must expose the query series.

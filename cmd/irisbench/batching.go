@@ -1,0 +1,354 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"irisnet/internal/cluster"
+	"irisnet/internal/metrics"
+	"irisnet/internal/service"
+	"irisnet/internal/workload"
+)
+
+// runBatching measures the batched, coalesced subquery dispatch path
+// (BENCH_PR4): three arms — unbatched (one message per subquery, no
+// coalescing), batched (one KindBatch message per destination site) and
+// batched+coalesced (the defaults) — across three workloads:
+//
+//   - high-fanout: neighborhood-wide queries on Architecture 2 over a
+//     WAN-ish simulated network. Each query misses every block stub of the
+//     neighborhood (20 in the paper-small database), and the blocks
+//     round-robin over a few worker sites, so batching collapses ~20
+//     messages into one per site. Acceptance: >=30% fewer subquery-path
+//     RPCs and a measurable p50 win.
+//   - hot-spot: rounds of identical concurrent cold queries entering a
+//     caching hierarchy at the root. Without coalescing every concurrent
+//     miss fetches upstream; with coalescing they join one flight.
+//     Acceptance: >=50% fewer upstream subqueries than the uncoalesced arm.
+//   - single-subquery: block queries that produce exactly one subquery, to
+//     show the batch path does not tax the common case. Acceptance: p50
+//     within 15% of the unbatched arm.
+//
+// Results are printed and written to BENCH_PR4.json for machines.
+func runBatching() {
+	dur := *durFlag
+	cl := *clients
+	if *shortFlag {
+		if dur > 700*time.Millisecond {
+			dur = 700 * time.Millisecond
+		}
+		if cl > 8 {
+			cl = 8
+		}
+	}
+	header(fmt.Sprintf("Batched + coalesced subquery dispatch (dur=%v, clients=%d)", dur, cl))
+
+	rep := batchReport{
+		Experiment:   "batching",
+		DurationSecs: dur.Seconds(),
+		Clients:      cl,
+		Short:        *shortFlag,
+	}
+	rep.HighFanout = benchHighFanout(dur, cl)
+	rep.HotSpot = benchHotSpot(dur, cl)
+	rep.Single = benchSingleSubquery(dur, cl)
+	rep.Pass = rep.HighFanout.PassRPC && rep.HighFanout.PassP50 &&
+		rep.HotSpot.Pass && rep.Single.Pass
+
+	fmt.Printf("\nacceptance: high-fanout rpc -%.1f%% (>=30)=%v, p50 -%.1f%% (measurable)=%v; "+
+		"hot-spot upstream subqueries -%.1f%% (>=50)=%v; single-subquery p50 x%.2f (<=1.15)=%v\n",
+		rep.HighFanout.RPCReductionPct, rep.HighFanout.PassRPC,
+		rep.HighFanout.P50ImprovementPct, rep.HighFanout.PassP50,
+		rep.HotSpot.SubqueryReductionPct, rep.HotSpot.Pass,
+		rep.Single.P50Ratio, rep.Single.Pass)
+	fmt.Printf("overall pass=%v\n", rep.Pass)
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	fatal(err)
+	buf = append(buf, '\n')
+	fatal(os.WriteFile("BENCH_PR4.json", buf, 0o644))
+	fmt.Println("wrote BENCH_PR4.json")
+}
+
+type batchReport struct {
+	Experiment   string      `json:"experiment"`
+	DurationSecs float64     `json:"duration_secs"`
+	Clients      int         `json:"clients"`
+	Short        bool        `json:"short"`
+	HighFanout   fanoutPart  `json:"high_fanout"`
+	HotSpot      hotspotPart `json:"hot_spot"`
+	Single       singlePart  `json:"single_subquery"`
+	Pass         bool        `json:"pass"`
+}
+
+type fanoutPart struct {
+	Arms              []armStats `json:"arms"`
+	RPCReductionPct   float64    `json:"rpc_reduction_pct"`
+	P50ImprovementPct float64    `json:"p50_improvement_pct"`
+	PassRPC           bool       `json:"pass_rpc"`
+	PassP50           bool       `json:"pass_p50"`
+}
+
+type hotspotPart struct {
+	Arms                 []armStats `json:"arms"`
+	SubqueryReductionPct float64    `json:"upstream_subquery_reduction_pct"`
+	Pass                 bool       `json:"pass"`
+}
+
+type singlePart struct {
+	Arms     []armStats `json:"arms"`
+	P50Ratio float64    `json:"p50_ratio"`
+	Pass     bool       `json:"pass"`
+}
+
+// batchArm names one point in the batching/coalescing knob space.
+type batchArm struct {
+	Name              string
+	DisableBatching   bool
+	DisableCoalescing bool
+}
+
+var batchArms = []batchArm{
+	{"unbatched", true, true},
+	{"batched", false, true},
+	{"batched+coalesced", false, false},
+}
+
+type armStats struct {
+	Arm                string  `json:"arm"`
+	Queries            int64   `json:"queries"`
+	Errors             int64   `json:"errors"`
+	P50Ms              float64 `json:"p50_ms"`
+	MeanMs             float64 `json:"mean_ms"`
+	Subqueries         int64   `json:"subqueries"`
+	SubqueryRPCs       int64   `json:"subquery_rpcs"`
+	Batches            int64   `json:"batches"`
+	Coalesced          int64   `json:"coalesced"`
+	RPCsPerQuery       float64 `json:"rpcs_per_query"`
+	SubqueriesPerQuery float64 `json:"subqueries_per_query"`
+}
+
+// collectArm sums the subquery-path metrics over every site and folds in
+// the client-side latency distribution.
+func collectArm(c *cluster.Cluster, name string, queries, errs int64, lat *metrics.Histogram) armStats {
+	st := armStats{Arm: name, Queries: queries, Errors: errs,
+		P50Ms: ms(lat.Quantile(0.5)), MeanMs: ms(lat.Mean())}
+	for _, s := range c.Sites {
+		st.Subqueries += s.Metrics.Subqueries.Value()
+		st.SubqueryRPCs += s.Metrics.SubqueryRPCs.Value()
+		st.Batches += s.Metrics.Batches.Value()
+		st.Coalesced += s.Metrics.Coalesced.Value()
+	}
+	if queries > 0 {
+		st.RPCsPerQuery = float64(st.SubqueryRPCs) / float64(queries)
+		st.SubqueriesPerQuery = float64(st.Subqueries) / float64(queries)
+	}
+	return st
+}
+
+func printArmHeader() {
+	fmt.Printf("%-20s %8s %9s %9s %10s %8s %8s %9s %10s %10s\n",
+		"arm", "queries", "p50-ms", "mean-ms", "subq", "rpcs", "batches", "coalesced", "rpcs/q", "subq/q")
+}
+
+func printArm(st armStats) {
+	fmt.Printf("%-20s %8d %9.1f %9.1f %10d %8d %8d %9d %10.2f %10.2f\n",
+		st.Arm, st.Queries, st.P50Ms, st.MeanMs, st.Subqueries, st.SubqueryRPCs,
+		st.Batches, st.Coalesced, st.RPCsPerQuery, st.SubqueriesPerQuery)
+}
+
+// closedLoop drives clients each issuing next(client, seq) for dur.
+func closedLoop(c *cluster.Cluster, clientN int, dur time.Duration, next func(client, seq int) string) (int64, int64, *metrics.Histogram) {
+	lat := metrics.NewHistogram(0)
+	var queries, errs atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < clientN; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			fe := c.NewFrontend()
+			for seq := 0; !stop.Load(); seq++ {
+				q := next(id, seq)
+				t0 := time.Now()
+				if _, err := fe.QueryFull(context.Background(), q); err != nil {
+					errs.Add(1)
+					continue
+				}
+				lat.Observe(time.Since(t0))
+				queries.Add(1)
+			}
+		}(i)
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	return queries.Load(), errs.Load(), lat
+}
+
+// roundLoop runs rounds for dur: in each round every client concurrently
+// issues the SAME query, then all wait before the next round moves to the
+// next query. That concentrates identical concurrent cold misses, the shape
+// single-flight coalescing exists for.
+func roundLoop(c *cluster.Cluster, clientN int, dur time.Duration, queries []string) (int64, int64, *metrics.Histogram) {
+	lat := metrics.NewHistogram(0)
+	var done, errs atomic.Int64
+	fes := make([]*service.Frontend, clientN)
+	for i := range fes {
+		fes[i] = c.NewFrontend()
+	}
+	deadline := time.Now().Add(dur)
+	for r := 0; time.Now().Before(deadline); r++ {
+		q := queries[r%len(queries)]
+		var wg sync.WaitGroup
+		for i := 0; i < clientN; i++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				t0 := time.Now()
+				if _, err := fes[id].QueryFull(context.Background(), q); err != nil {
+					errs.Add(1)
+					return
+				}
+				lat.Observe(time.Since(t0))
+				done.Add(1)
+			}(i)
+		}
+		wg.Wait()
+	}
+	return done.Load(), errs.Load(), lat
+}
+
+// benchHighFanout: Architecture 2 (central query, distributed update) with
+// neighborhood-wide queries over a WAN-ish network. Every query misses all
+// 20 block stubs of one neighborhood; blocks round-robin over 4 worker
+// sites, so the batched arms ship 4 messages where the unbatched arm
+// ships 20.
+func benchHighFanout(dur time.Duration, cl int) fanoutPart {
+	fmt.Println("\n-- high-fanout: neighborhood-wide queries, Architecture 2, WAN latency --")
+	printArmHeader()
+	var part fanoutPart
+	for _, arm := range batchArms {
+		cfg := cluster.Config{
+			DB:      workload.PaperSmall(),
+			Latency: 20 * time.Millisecond, Jitter: 8 * time.Millisecond,
+			PerMessage: 2 * time.Millisecond,
+			Seed:       7, BlockSites: 4,
+			DisableBatching:   arm.DisableBatching,
+			DisableCoalescing: arm.DisableCoalescing,
+		}
+		c, err := cluster.New(cluster.CentralQueryDistUpdate, cfg)
+		fatal(err)
+		qs := nbWideQueries(c.DB)
+		queries, errs, lat := closedLoop(c, cl, dur, func(client, seq int) string {
+			return qs[(client+seq)%len(qs)]
+		})
+		st := collectArm(c, arm.Name, queries, errs, lat)
+		part.Arms = append(part.Arms, st)
+		printArm(st)
+		c.Close()
+	}
+	base, batched := part.Arms[0], part.Arms[1]
+	if base.RPCsPerQuery > 0 {
+		part.RPCReductionPct = 100 * (1 - batched.RPCsPerQuery/base.RPCsPerQuery)
+	}
+	if base.P50Ms > 0 {
+		part.P50ImprovementPct = 100 * (1 - batched.P50Ms/base.P50Ms)
+	}
+	part.PassRPC = part.RPCReductionPct >= 30
+	part.PassP50 = part.P50ImprovementPct >= 5
+	return part
+}
+
+// nbWideQueries returns one all-blocks query per neighborhood.
+func nbWideQueries(db *workload.DB) []string {
+	var qs []string
+	for c := 0; c < db.Cfg.Cities; c++ {
+		for n := 0; n < db.Cfg.Neighborhoods; n++ {
+			qs = append(qs, db.NeighborhoodPath(c, n).String()+"/block/parkingSpace[available='yes']")
+		}
+	}
+	return qs
+}
+
+// benchHotSpot: caching hierarchy, every query forced through the root
+// site, rounds of identical concurrent cold queries. The coalesced arm
+// answers each round with ~1 upstream fetch; the uncoalesced arms fetch
+// once per concurrent miss.
+func benchHotSpot(dur time.Duration, cl int) hotspotPart {
+	fmt.Println("\n-- hot-spot: identical concurrent cold queries at the root, caching on --")
+	printArmHeader()
+	var part hotspotPart
+	for _, arm := range batchArms[1:] { // batching identical in both arms; vary coalescing
+		cfg := cluster.Config{
+			DB:      workload.PaperSmall(),
+			Latency: 5 * time.Millisecond, Jitter: 2 * time.Millisecond,
+			Seed: 7, Caching: true, ForceEntry: cluster.RootSiteName,
+			DisableBatching:   arm.DisableBatching,
+			DisableCoalescing: arm.DisableCoalescing,
+		}
+		c, err := cluster.New(cluster.Hierarchical, cfg)
+		fatal(err)
+		var qs []string
+		for ci := 0; ci < c.DB.Cfg.Cities; ci++ {
+			for n := 0; n < c.DB.Cfg.Neighborhoods; n++ {
+				for b := 0; b < c.DB.Cfg.Blocks; b++ {
+					qs = append(qs, c.DB.BlockQuery(ci, n, b))
+				}
+			}
+		}
+		queries, errs, lat := roundLoop(c, cl, dur, qs)
+		st := collectArm(c, arm.Name, queries, errs, lat)
+		part.Arms = append(part.Arms, st)
+		printArm(st)
+		c.Close()
+	}
+	base, coalesced := part.Arms[0], part.Arms[1]
+	if base.SubqueriesPerQuery > 0 {
+		part.SubqueryReductionPct = 100 * (1 - coalesced.SubqueriesPerQuery/base.SubqueriesPerQuery)
+	}
+	part.Pass = part.SubqueryReductionPct >= 50
+	return part
+}
+
+// benchSingleSubquery: block queries on Architecture 2 — exactly one
+// subquery per query, so destination groups are singletons and the batch
+// path must cost nothing.
+func benchSingleSubquery(dur time.Duration, cl int) singlePart {
+	fmt.Println("\n-- single-subquery: block queries, Architecture 2 (no batching possible) --")
+	printArmHeader()
+	var part singlePart
+	for _, arm := range []batchArm{batchArms[0], batchArms[2]} {
+		cfg := cluster.Config{
+			DB:      workload.PaperSmall(),
+			Latency: 5 * time.Millisecond, Jitter: 2 * time.Millisecond,
+			Seed: 7, BlockSites: 4,
+			DisableBatching:   arm.DisableBatching,
+			DisableCoalescing: arm.DisableCoalescing,
+		}
+		c, err := cluster.New(cluster.CentralQueryDistUpdate, cfg)
+		fatal(err)
+		db := c.DB
+		queries, errs, lat := closedLoop(c, cl, dur, func(client, seq int) string {
+			i := client*7919 + seq
+			ci := i % db.Cfg.Cities
+			n := (i / db.Cfg.Cities) % db.Cfg.Neighborhoods
+			b := (i / (db.Cfg.Cities * db.Cfg.Neighborhoods)) % db.Cfg.Blocks
+			return db.BlockQuery(ci, n, b)
+		})
+		st := collectArm(c, arm.Name, queries, errs, lat)
+		part.Arms = append(part.Arms, st)
+		printArm(st)
+		c.Close()
+	}
+	if part.Arms[0].P50Ms > 0 {
+		part.P50Ratio = part.Arms[1].P50Ms / part.Arms[0].P50Ms
+	}
+	part.Pass = part.P50Ratio > 0 && part.P50Ratio <= 1.15
+	return part
+}

@@ -9,7 +9,7 @@
 //	irisbench -exp fig7 -dur 5s   # one experiment, longer measurement
 //
 // Experiments: updates, fig7, fig8, fig9, fig10, fig11, latency, faults,
-// trace-overhead, read-write-mix, all.
+// trace-overhead, read-write-mix, batching, all.
 package main
 
 import (
@@ -28,10 +28,11 @@ import (
 )
 
 var (
-	expFlag   = flag.String("exp", "all", "experiment: updates|fig7|fig8|fig9|fig10|fig11|latency|faults|trace-overhead|read-write-mix|all")
+	expFlag   = flag.String("exp", "all", "experiment: updates|fig7|fig8|fig9|fig10|fig11|latency|faults|trace-overhead|read-write-mix|batching|all")
 	durFlag   = flag.Duration("dur", 3*time.Second, "measurement duration per cell")
 	clients   = flag.Int("clients", 24, "closed-loop query clients")
 	largeFlag = flag.Bool("large", false, "use the x8 database where applicable")
+	shortFlag = flag.Bool("short", false, "smoke mode: clamp duration and client count (CI)")
 	faultFlag = flag.String("faults", "drop=0.05,stallrate=0.05,stall=40ms",
 		"fault injection for -exp faults: drop=<rate>,stallrate=<rate>,stall=<dur>")
 )
@@ -49,8 +50,9 @@ func main() {
 		"faults":         runFaults,
 		"trace-overhead": runTraceOverhead,
 		"read-write-mix": runReadWriteMix,
+		"batching":       runBatching,
 	}
-	order := []string{"updates", "fig7", "fig8", "fig9", "fig10", "fig11", "latency", "faults", "trace-overhead", "read-write-mix"}
+	order := []string{"updates", "fig7", "fig8", "fig9", "fig10", "fig11", "latency", "faults", "trace-overhead", "read-write-mix", "batching"}
 	if *expFlag == "all" {
 		for _, name := range order {
 			exps[name]()

@@ -63,6 +63,9 @@ type Config struct {
 	// Latency and Jitter configure the simulated network (one-way).
 	Latency time.Duration
 	Jitter  time.Duration
+	// PerMessage is the fixed per-message transmission overhead charged
+	// serially per destination link (see transport.SimConfig.PerMessage).
+	PerMessage time.Duration
 	// Caching enables query-result caching at every site.
 	Caching bool
 	// CacheBypass keeps cache writes but ignores cached data on reads
@@ -105,6 +108,21 @@ type Config struct {
 	QueryTimeout time.Duration
 	// Retry shapes site and frontend retry loops (zero = defaults).
 	Retry transport.RetryPolicy
+	// DisableBatching ships every subquery as its own message instead of
+	// batching per destination site (the irisbench batching baseline). See
+	// site.Config.DisableBatching.
+	DisableBatching bool
+	// BatchByteCap caps one batch message's encoded payload; zero uses
+	// site.DefaultBatchByteCap.
+	BatchByteCap int
+	// DisableCoalescing turns off single-flight deduplication of identical
+	// in-flight subqueries at caching sites.
+	DisableCoalescing bool
+	// ForceEntry routes every frontend query through the named site
+	// regardless of architecture (e.g. the root site, to concentrate misses
+	// for the coalescing experiments). Empty keeps the per-architecture
+	// default.
+	ForceEntry string
 }
 
 func (c Config) withDefaults() Config {
@@ -161,7 +179,7 @@ func New(arch Architecture, cfg Config) (*Cluster, error) {
 	c := &Cluster{
 		Arch:     arch,
 		Cfg:      cfg,
-		Net:      transport.NewSimNet(transport.SimConfig{Latency: cfg.Latency, Jitter: cfg.Jitter, Seed: cfg.Seed}),
+		Net:      transport.NewSimNet(transport.SimConfig{Latency: cfg.Latency, Jitter: cfg.Jitter, PerMessage: cfg.PerMessage, Seed: cfg.Seed}),
 		Registry: naming.NewRegistry(),
 		Sites:    map[string]*site.Site{},
 		DB:       db,
@@ -175,23 +193,26 @@ func New(arch Architecture, cfg Config) (*Cluster, error) {
 	}
 	for _, name := range assign.Sites() {
 		s := site.New(site.Config{
-			Name:          name,
-			Service:       workload.Service,
-			Net:           c.Net,
-			DNS:           c.NewResolver(),
-			Registry:      c.Registry,
-			Schema:        db.Schema,
-			Caching:       cfg.Caching,
-			CacheBypass:   cfg.CacheBypass,
-			NaivePlans:    cfg.NaivePlans,
-			CPUSlots:      cfg.CPUSlots,
-			CoarseLocking: cfg.CoarseLocking,
-			QueryWork:     cfg.QueryWork,
-			PerNodeWork:   cfg.PerNodeWork,
-			UpdateWork:    cfg.UpdateWork,
-			Clock:         cfg.Clock,
-			CallTimeout:   cfg.CallTimeout,
-			Retry:         cfg.Retry,
+			Name:              name,
+			Service:           workload.Service,
+			Net:               c.Net,
+			DNS:               c.NewResolver(),
+			Registry:          c.Registry,
+			Schema:            db.Schema,
+			Caching:           cfg.Caching,
+			CacheBypass:       cfg.CacheBypass,
+			NaivePlans:        cfg.NaivePlans,
+			CPUSlots:          cfg.CPUSlots,
+			CoarseLocking:     cfg.CoarseLocking,
+			QueryWork:         cfg.QueryWork,
+			PerNodeWork:       cfg.PerNodeWork,
+			UpdateWork:        cfg.UpdateWork,
+			Clock:             cfg.Clock,
+			CallTimeout:       cfg.CallTimeout,
+			Retry:             cfg.Retry,
+			DisableBatching:   cfg.DisableBatching,
+			BatchByteCap:      cfg.BatchByteCap,
+			DisableCoalescing: cfg.DisableCoalescing,
 		}, workload.RootName, workload.RootID)
 		s.Load(stores[name], owned[name])
 		if err := s.Start(); err != nil {
@@ -222,6 +243,9 @@ func (c *Cluster) NewFrontend() *service.Frontend {
 	f := service.NewFrontend(c.Net, c.NewResolver())
 	if c.Arch == Centralized || c.Arch == CentralQueryDistUpdate {
 		f.ForceEntry = CentralSite
+	}
+	if c.Cfg.ForceEntry != "" {
+		f.ForceEntry = c.Cfg.ForceEntry
 	}
 	if c.Cfg.Clock != nil {
 		f.Clock = c.Cfg.Clock
@@ -277,7 +301,7 @@ func BalancedSkewCluster(cfg Config, hotCity, hotNB int) (*Cluster, error) {
 	c := &Cluster{
 		Arch:     Hierarchical,
 		Cfg:      cfg,
-		Net:      transport.NewSimNet(transport.SimConfig{Latency: cfg.Latency, Jitter: cfg.Jitter, Seed: cfg.Seed}),
+		Net:      transport.NewSimNet(transport.SimConfig{Latency: cfg.Latency, Jitter: cfg.Jitter, PerMessage: cfg.PerMessage, Seed: cfg.Seed}),
 		Registry: naming.NewRegistry(),
 		Sites:    map[string]*site.Site{},
 		DB:       db,
@@ -297,6 +321,8 @@ func BalancedSkewCluster(cfg Config, hotCity, hotNB int) (*Cluster, error) {
 			CoarseLocking: cfg.CoarseLocking, Clock: cfg.Clock,
 			QueryWork: cfg.QueryWork, PerNodeWork: cfg.PerNodeWork, UpdateWork: cfg.UpdateWork,
 			CallTimeout: cfg.CallTimeout, Retry: cfg.Retry,
+			DisableBatching: cfg.DisableBatching, BatchByteCap: cfg.BatchByteCap,
+			DisableCoalescing: cfg.DisableCoalescing,
 		}, workload.RootName, workload.RootID)
 		s.Load(stores[name], owned[name])
 		if err := s.Start(); err != nil {

@@ -118,6 +118,86 @@ func (h *Histogram) Sum() time.Duration {
 	return h.sum
 }
 
+// SizeHistogram is Histogram for dimensionless values (batch sizes,
+// fan-outs): it records float64 samples and reports quantiles over them.
+// Same retention and lazy-sort strategy as Histogram.
+type SizeHistogram struct {
+	mu      sync.Mutex
+	samples []float64
+	sorted  bool
+	limit   int
+	count   int64
+	sum     float64
+}
+
+// NewSizeHistogram creates a value histogram retaining at most limit
+// samples (limit <= 0 means 1<<20); count/sum keep accumulating past it.
+func NewSizeHistogram(limit int) *SizeHistogram {
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	return &SizeHistogram{limit: limit, sorted: true}
+}
+
+// Observe records one value.
+func (h *SizeHistogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += v
+	if len(h.samples) < h.limit {
+		if h.sorted && len(h.samples) > 0 && v < h.samples[len(h.samples)-1] {
+			h.sorted = false
+		}
+		h.samples = append(h.samples, v)
+	}
+}
+
+// Count returns the number of observations.
+func (h *SizeHistogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the total of all observations.
+func (h *SizeHistogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Mean returns the mean value (0 when empty).
+func (h *SizeHistogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Quantile returns the q-quantile over retained samples.
+func (h *SizeHistogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+	idx := int(math.Ceil(q*float64(len(h.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.samples) {
+		idx = len(h.samples) - 1
+	}
+	return h.samples[idx]
+}
+
 // Breakdown accumulates named stage durations, reproducing the Figure 11
 // per-stage bars (create plan / execute / communication / rest).
 type Breakdown struct {

@@ -34,11 +34,12 @@ type family struct {
 
 // series is one (name, labels) time series and its value source.
 type series struct {
-	labels  string // canonical `k1="v1",k2="v2"` rendering, "" if unlabeled
-	counter *Counter
-	gauge   *Gauge
-	gaugeFn func() float64
-	hist    *Histogram
+	labels   string // canonical `k1="v1",k2="v2"` rendering, "" if unlabeled
+	counter  *Counter
+	gauge    *Gauge
+	gaugeFn  func() float64
+	hist     *Histogram
+	sizeHist *SizeHistogram
 }
 
 // NewRegistry creates an empty registry.
@@ -96,6 +97,15 @@ func (r *Registry) RegisterHistogram(name, help string, labels Labels, h *Histog
 	s := r.getOrCreate(name, help, "summary", labels)
 	if s.hist == nil {
 		s.hist = h
+	}
+}
+
+// RegisterSizeHistogram attaches an existing value histogram (dimensionless
+// samples such as batch sizes), exposed in summary form with raw values.
+func (r *Registry) RegisterSizeHistogram(name, help string, labels Labels, h *SizeHistogram) {
+	s := r.getOrCreate(name, help, "summary", labels)
+	if s.sizeHist == nil {
+		s.sizeHist = h
 	}
 }
 
@@ -209,6 +219,16 @@ func writeSeries(b *strings.Builder, f *family, s *series) {
 		}
 		writeSample(b, f.name, s.labels, "_sum", s.hist.Sum().Seconds())
 		writeSample(b, f.name, s.labels, "_count", float64(s.hist.Count()))
+	case s.sizeHist != nil:
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			ql := `quantile="` + strconv.FormatFloat(q, 'g', -1, 64) + `"`
+			if s.labels != "" {
+				ql = s.labels + "," + ql
+			}
+			writeSample(b, f.name, ql, "", s.sizeHist.Quantile(q))
+		}
+		writeSample(b, f.name, s.labels, "_sum", s.sizeHist.Sum())
+		writeSample(b, f.name, s.labels, "_count", float64(s.sizeHist.Count()))
 	}
 }
 

@@ -1,0 +1,397 @@
+package site
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"irisnet/internal/fragment"
+	"irisnet/internal/naming"
+	"irisnet/internal/qeg"
+	"irisnet/internal/transport"
+	"irisnet/internal/workload"
+	"irisnet/internal/xmldb"
+)
+
+// deployShared is deployCfg with every block of a city owned by one block
+// site ("blocks-<city>") while the city site keeps the city and
+// neighborhood nodes — the architecture-2 shape. A query over a whole
+// neighborhood then emits one subquery per missing block subtree, all bound
+// for the same destination: a real multi-entry batch. (Sibling blocks named
+// in one predicate are no use here: the planner generalizes them into a
+// single subquery.)
+func deployShared(t *testing.T, caching bool, sim transport.SimConfig, mut func(*Config)) *testDeployment {
+	t.Helper()
+	cfg := workload.DBConfig{Cities: 2, Neighborhoods: 2, Blocks: 3, Spaces: 3, Seed: 5}
+	db := workload.Build(cfg)
+	assign := fragment.NewAssignment("root-site")
+	for c := 0; c < cfg.Cities; c++ {
+		assign.Assign(db.CityPath(c), "city-"+workload.CityName(c))
+		for n := 0; n < cfg.Neighborhoods; n++ {
+			for b := 0; b < cfg.Blocks; b++ {
+				assign.Assign(db.BlockPath(c, n, b), "blocks-"+workload.CityName(c))
+			}
+		}
+	}
+	d := &testDeployment{
+		net:      transport.NewSimNet(sim),
+		registry: naming.NewRegistry(),
+		sites:    map[string]*Site{},
+		db:       db,
+		assign:   assign,
+		clock:    func() float64 { return 1000 },
+	}
+	stores, owned, err := fragment.Partition(db.Doc, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range assign.Sites() {
+		sc := Config{
+			Name:     name,
+			Service:  workload.Service,
+			Net:      d.net,
+			DNS:      naming.NewClient(d.registry, workload.Service, time.Hour, nil),
+			Registry: d.registry,
+			Schema:   db.Schema,
+			Caching:  caching,
+			CPUSlots: 1,
+			Clock:    d.clock,
+		}
+		if mut != nil {
+			mut(&sc)
+		}
+		s := New(sc, workload.RootName, workload.RootID)
+		s.Load(stores[name], owned[name])
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		d.sites[name] = s
+	}
+	d.registry.RegisterSubtree(db.Doc, workload.Service, assign.OwnerOf)
+	t.Cleanup(func() {
+		for _, s := range d.sites {
+			s.Stop()
+		}
+	})
+	return d
+}
+
+// queryRaw sends a query and returns the whole result message (the raw
+// fragment text matters for the byte-identical splitting test).
+func (d *testDeployment) queryRaw(t *testing.T, siteName, q string) *Message {
+	t.Helper()
+	msg := &Message{Kind: KindQuery, Query: q}
+	respB, err := d.net.Call(siteName, msg.Encode())
+	if err != nil {
+		t.Fatalf("query to %s: %v", siteName, err)
+	}
+	resp, err := DecodeMessage(respB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := resp.AsError(); e != nil {
+		t.Fatalf("query %q at %s: %v", q, siteName, e)
+	}
+	return resp
+}
+
+// TestSiteCoalescingConcurrentColdQueries extends the
+// TestSiteCachingReducesSubqueries guarantee to the concurrent case: N
+// identical cold queries racing into a caching site must issue exactly as
+// many upstream subqueries as one query alone — the first leads the flight,
+// the rest join it (or hit the cache it populates).
+func TestSiteCoalescingConcurrentColdQueries(t *testing.T) {
+	sim := transport.SimConfig{Latency: 3 * time.Millisecond}
+	cityName := "city-" + workload.CityName(0)
+
+	// Baseline: one cold query on its own deployment.
+	base := deployCfg(t, true, sim, nil)
+	q := base.db.BlockQuery(0, 0, 0)
+	base.query(t, cityName, q)
+	baseline := base.sites[cityName].Metrics.Subqueries.Value()
+	if baseline == 0 {
+		t.Fatal("cold query should need subqueries")
+	}
+
+	// Same query, 8 ways concurrent, on a fresh deployment.
+	d := deployCfg(t, true, sim, nil)
+	city := d.sites[cityName]
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d.query(t, cityName, q)
+		}()
+	}
+	wg.Wait()
+
+	if got := city.Metrics.Subqueries.Value(); got != baseline {
+		t.Fatalf("%d concurrent identical queries issued %d upstream subqueries, want %d",
+			workers, got, baseline)
+	}
+	// Every query after the leader either joined the flight or hit the
+	// cache the flight populated before retiring.
+	coal, hits := city.Metrics.Coalesced.Value(), city.Metrics.CacheHits.Value()
+	if baseline == 1 && coal+hits != workers-1 {
+		t.Fatalf("coalesced=%d cacheHits=%d, want them to cover the other %d queries",
+			coal, hits, workers-1)
+	}
+	// Correctness preserved under coalescing.
+	frag := d.query(t, cityName, q)
+	got := extracted(t, frag, q, d.clock)
+	want := centralAnswer(t, d, q)
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Fatalf("coalesced answer wrong:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestSiteConcurrentCoalescedFetchesWithEviction races coalesced fetches
+// against sensor updates and cache eviction; run with -race. Eviction goes
+// through the copy-on-write write path exactly as a cache-pressure policy
+// would, repeatedly un-caching the subtrees the query workers re-fetch.
+func TestSiteConcurrentCoalescedFetchesWithEviction(t *testing.T) {
+	sim := transport.SimConfig{Latency: time.Millisecond}
+	d := deployCfg(t, true, sim, nil)
+	cityName := "city-" + workload.CityName(0)
+	city := d.sites[cityName]
+	const iters = 30
+
+	var wg sync.WaitGroup
+	// Query workers: a small set of identical queries so flights overlap.
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				q := d.db.BlockQuery(0, i%2, i%3)
+				msg := &Message{Kind: KindQuery, Query: q}
+				respB, err := d.net.Call(cityName, msg.Encode())
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				if resp, derr := DecodeMessage(respB); derr != nil || resp.AsError() != nil {
+					t.Errorf("worker %d: %v %v", w, derr, resp.AsError())
+					return
+				}
+			}
+		}(w)
+	}
+	// Update workers mutating the spaces those queries read.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				target := d.db.SpacePaths[(w*iters+i)%len(d.db.SpacePaths)]
+				msg := &Message{Kind: KindUpdate, Path: target.String(),
+					Fields: map[string]string{"available": fmt.Sprintf("v%d", i)}}
+				if _, err := d.net.Call(d.assign.OwnerOf(target), msg.Encode()); err != nil {
+					t.Errorf("update %d: %v", i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Eviction worker: repeatedly drop cached block subtrees at the city.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			p := d.db.BlockPath(0, i%2, i%3)
+			city.wmu.Lock()
+			st := city.state.Load()
+			w := st.store.Begin()
+			if err := w.EvictSubtree(p); err == nil {
+				city.publishLocked(&siteState{store: w.Commit(), owned: st.owned, migrated: st.migrated})
+			}
+			city.wmu.Unlock()
+		}
+	}()
+	wg.Wait()
+
+	// The store still satisfies the structural invariants and queries still
+	// answer correctly.
+	snap := city.StoreSnapshot()
+	var owned []xmldb.IDPath
+	for _, k := range city.OwnedPaths() {
+		p, err := xmldb.ParseIDPath(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		owned = append(owned, p)
+	}
+	if errs := fragment.CheckInvariants(snap, d.db.Doc, owned, false); len(errs) > 0 {
+		t.Fatalf("invariants after stress: %v", errs)
+	}
+	q := d.db.BlockPath(0, 0, 0).String()
+	frag := d.query(t, cityName, q)
+	ans, err := qeg.ExtractAnswer(frag, q, d.clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != 1 || ans[0].Name != "block" {
+		t.Fatalf("post-stress answer: %v", ans)
+	}
+}
+
+// TestBatchSplittingByteIdenticalAnswer checks that a destination group
+// split by the byte cap reassembles into exactly the answer an unsplit
+// batch — and the unbatched path — produce.
+func TestBatchSplittingByteIdenticalAnswer(t *testing.T) {
+	cityName := "city-" + workload.CityName(0)
+	run := func(mut func(*Config)) (*testDeployment, string) {
+		d := deployShared(t, false, transport.SimConfig{}, mut)
+		// All three blocks of one neighborhood: three subqueries, one
+		// destination site.
+		q := d.db.NeighborhoodPath(0, 0).String() + "/block/parkingSpace[available='yes']"
+		return d, d.queryRaw(t, cityName, q).Fragment
+	}
+
+	whole, wholeFrag := run(nil)
+	split, splitFrag := run(func(c *Config) { c.BatchByteCap = 1 })
+	_, plainFrag := run(func(c *Config) { c.DisableBatching = true })
+
+	if wholeFrag != splitFrag {
+		t.Fatalf("split batch answer differs from unsplit:\n%s\nvs\n%s", splitFrag, wholeFrag)
+	}
+	if wholeFrag != plainFrag {
+		t.Fatalf("batched answer differs from unbatched:\n%s\nvs\n%s", plainFrag, wholeFrag)
+	}
+
+	// The uncapped run shipped all three subqueries as one batch message;
+	// the 1-byte cap forced one message per entry.
+	wc, sc := whole.sites[cityName], split.sites[cityName]
+	if wc.Metrics.Subqueries.Value() != 3 || wc.Metrics.Batches.Value() != 1 || wc.Metrics.SubqueryRPCs.Value() != 1 {
+		t.Fatalf("uncapped: subqueries=%d batches=%d rpcs=%d, want 3/1/1",
+			wc.Metrics.Subqueries.Value(), wc.Metrics.Batches.Value(), wc.Metrics.SubqueryRPCs.Value())
+	}
+	if sc.Metrics.Batches.Value() != 3 || sc.Metrics.SubqueryRPCs.Value() != 3 {
+		t.Fatalf("capped: batches=%d rpcs=%d, want 3/3",
+			sc.Metrics.Batches.Value(), sc.Metrics.SubqueryRPCs.Value())
+	}
+	if n := wc.Metrics.BatchSize.Count(); n != 1 || wc.Metrics.BatchSize.Mean() != 3 {
+		t.Fatalf("uncapped batch-size histogram: count=%d mean=%v", n, wc.Metrics.BatchSize.Mean())
+	}
+}
+
+// TestBatchPartialEntryFailure fails one entry of a two-entry batch in
+// transit and checks the sender splices the healthy entry and marks only
+// the failed target unreachable — the same partial-answer semantics an
+// individual subquery failure produces.
+func TestBatchPartialEntryFailure(t *testing.T) {
+	d := deployShared(t, false, transport.SimConfig{}, nil)
+	cityName := "city-" + workload.CityName(0)
+	blocksName := "blocks-" + workload.CityName(0)
+	real := d.sites[blocksName]
+	sabotage := "block[@id='2']"
+
+	// Interpose on the block site: corrupt the batch entry targeting
+	// block 2 so its evaluation fails, leaving the other entries intact.
+	d.net.Unregister(blocksName)
+	if err := d.net.Register(blocksName, func(ctx context.Context, payload []byte) ([]byte, error) {
+		msg, err := DecodeMessage(payload)
+		if err == nil && msg.Kind == KindBatch {
+			for i := range msg.Entries {
+				if strings.Contains(msg.Entries[i].Query, sabotage) {
+					msg.Entries[i].Query = "]["
+				}
+			}
+			payload = msg.Encode()
+		}
+		return real.Handle(ctx, payload)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	q := d.db.NeighborhoodPath(0, 0).String() + "/block/parkingSpace[available='yes']"
+	resp := d.queryRaw(t, cityName, q)
+	if len(resp.Unreachable) != 1 || !strings.Contains(resp.Unreachable[0], `block[@id="2"]`) {
+		t.Fatalf("unreachable = %v, want exactly block 2's target", resp.Unreachable)
+	}
+	if d.sites[cityName].Metrics.PartialAnswers.Value() != 1 {
+		t.Fatal("partial answer not counted")
+	}
+	// The healthy entry still spliced: block 1's spaces are in the answer.
+	frag, err := xmldb.ParseString(resp.Fragment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := d.db.BlockQuery(0, 0, 0)
+	got := extracted(t, frag, single, d.clock)
+	want := centralAnswer(t, d, single)
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Fatalf("healthy entry not spliced:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestBatchReceiverPerEntryStatus drives a crafted KindBatch straight into
+// a site: good and bad entries come back in order with individual statuses.
+func TestBatchReceiverPerEntryStatus(t *testing.T) {
+	d := deploy(t, false)
+	nbName := "nb-" + workload.CityName(0) + "-" + workload.NeighborhoodName(0)
+	good := qeg.SubtreeQuery(d.db.BlockPath(0, 0, 0))
+	batch := &Message{Kind: KindBatch, Entries: []BatchEntry{
+		{Query: good},
+		{Query: "]["},
+	}}
+	respB, err := d.net.Call(nbName, batch.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := DecodeMessage(respB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Kind != KindBatchResult || len(resp.Entries) != 2 {
+		t.Fatalf("resp kind=%s entries=%d", resp.Kind, len(resp.Entries))
+	}
+	if resp.Entries[0].Status != BatchEntryOK || resp.Entries[0].Fragment == "" {
+		t.Fatalf("good entry: %+v", resp.Entries[0])
+	}
+	if resp.Entries[1].Status != BatchEntryError || resp.Entries[1].Error == "" {
+		t.Fatalf("bad entry: %+v", resp.Entries[1])
+	}
+	if _, err := xmldb.ParseString(resp.Entries[0].Fragment); err != nil {
+		t.Fatalf("good entry fragment unparsable: %v", err)
+	}
+}
+
+// TestSplitByByteCap checks the splitting invariants directly: order
+// preserved, every piece non-empty, and no piece except singletons exceeds
+// the cap.
+func TestSplitByByteCap(t *testing.T) {
+	var group []pendingSub
+	for i := 0; i < 7; i++ {
+		group = append(group, pendingSub{idx: i, sq: qeg.Subquery{Query: strings.Repeat("q", 40)}})
+	}
+	pieces := splitByByteCap(group, 120)
+	if len(pieces) < 2 {
+		t.Fatalf("expected a split, got %d pieces", len(pieces))
+	}
+	next := 0
+	for _, piece := range pieces {
+		if len(piece) == 0 {
+			t.Fatal("empty piece")
+		}
+		for _, p := range piece {
+			if p.idx != next {
+				t.Fatalf("order broken: idx %d, want %d", p.idx, next)
+			}
+			next++
+		}
+	}
+	if next != len(group) {
+		t.Fatalf("%d entries after split, want %d", next, len(group))
+	}
+	// A cap smaller than any entry still ships singletons.
+	tiny := splitByByteCap(group, 1)
+	if len(tiny) != len(group) {
+		t.Fatalf("1-byte cap: %d pieces, want %d singletons", len(tiny), len(group))
+	}
+}

@@ -23,7 +23,36 @@ const (
 	KindOK       = "ok"
 	KindResult   = "result"
 	KindError    = "error"
+	// KindBatch carries N subqueries bound for one destination site in a
+	// single message (Entries set); the receiver evaluates every entry
+	// against one pinned snapshot and replies with KindBatchResult carrying
+	// one entry per request entry, in order, each with its own status. The
+	// batch shares one deadline, one trace span and one retry budget.
+	KindBatch       = "batch"
+	KindBatchResult = "batchResult"
 )
+
+// Per-entry statuses inside a KindBatchResult message.
+const (
+	// BatchEntryOK marks an entry whose evaluation produced an answer
+	// fragment (possibly partial: see BatchEntry.Unreachable).
+	BatchEntryOK = "ok"
+	// BatchEntryError marks an entry whose evaluation failed outright; the
+	// sender splices an unreachable placeholder for just that target, the
+	// same way an individual subquery failure surfaces today.
+	BatchEntryError = "error"
+)
+
+// BatchEntry is one subquery inside a KindBatch request (Query set) or its
+// answer inside a KindBatchResult response (Status plus Fragment or Error).
+type BatchEntry struct {
+	Query       string      `json:"query,omitempty"`
+	Status      string      `json:"status,omitempty"`
+	Fragment    string      `json:"fragment,omitempty"`
+	Unreachable []string    `json:"unreachable,omitempty"`
+	Error       string      `json:"error,omitempty"`
+	Span        *trace.Span `json:"span,omitempty"`
+}
 
 // Message is the wire envelope between sites (and from frontends/sensing
 // agents to sites). Fragments travel as XML text, exercising real
@@ -54,6 +83,9 @@ type Message struct {
 	// Span is this hop's span with its children attached (KindResult only,
 	// present iff the request carried a TraceID).
 	Span *trace.Span `json:"span,omitempty"`
+	// Entries carries the per-subquery payloads of a KindBatch request or
+	// the per-entry answers of a KindBatchResult response (same order).
+	Entries []BatchEntry `json:"entries,omitempty"`
 }
 
 // Deadline converts DeadlineMS back to a time; ok is false when unset.

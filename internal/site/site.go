@@ -81,7 +81,27 @@ type Config struct {
 	// Nil disables logging; the benchmark harness leaves it nil so the hot
 	// path pays only a disabled-handler check.
 	Logger *slog.Logger
+	// DisableBatching turns off per-destination subquery batching: every
+	// fresh subquery ships as its own KindQuery message, the pre-batching
+	// behavior. It exists for the irisbench batching comparison; leave it
+	// false in production, where a query fanning out to N subtrees owned by
+	// one site pays one round trip instead of N.
+	DisableBatching bool
+	// BatchByteCap caps the encoded payload size of one KindBatch message;
+	// destination groups whose entries exceed it are split into several
+	// batch messages. Zero uses DefaultBatchByteCap.
+	BatchByteCap int
+	// DisableCoalescing turns off single-flight deduplication of identical
+	// in-flight subqueries at caching sites (see dispatch.go). Only
+	// meaningful when Caching is set: coalescing never runs without it.
+	DisableCoalescing bool
 }
+
+// DefaultBatchByteCap bounds one batch message's encoded payload (256 KiB):
+// large enough that realistic fan-outs ship as one message, small enough
+// that a batch never trips transport frame limits or head-of-line-blocks a
+// WAN link for seconds.
+const DefaultBatchByteCap = 256 << 10
 
 // Metrics exposes a site's counters to the harness.
 type Metrics struct {
@@ -94,7 +114,20 @@ type Metrics struct {
 	Retries        metrics.Counter // network attempts retried after failure
 	DeadlineHits   metrics.Counter // attempts that timed out
 	PartialAnswers metrics.Counter // results with unreachable subtrees
-	Breakdown      *metrics.Breakdown
+	// SubqueryRPCs counts network sends on the subquery path: one per
+	// single-subquery message and one per batch message. Subqueries counts
+	// logical subqueries, so Subqueries - SubqueryRPCs is the messaging
+	// saved by batching.
+	SubqueryRPCs metrics.Counter
+	// Batches counts KindBatch messages sent (each covering >= 2 entries
+	// before cap-splitting).
+	Batches metrics.Counter
+	// Coalesced counts subqueries answered by joining another query's
+	// in-flight fetch instead of going upstream (caching sites only).
+	Coalesced metrics.Counter
+	// BatchSize is the per-batch-message entry-count distribution.
+	BatchSize *metrics.SizeHistogram
+	Breakdown *metrics.Breakdown
 }
 
 // Register registers every counter under the site label, plus live gauges
@@ -111,6 +144,10 @@ func (s *Site) Register(r *metrics.Registry) {
 	r.RegisterCounter("irisnet_retries_total", "Network attempts retried after failure.", l, &m.Retries)
 	r.RegisterCounter("irisnet_deadline_hits_total", "Network attempts that ran into a deadline.", l, &m.DeadlineHits)
 	r.RegisterCounter("irisnet_partial_answers_total", "Results returned with unreachable subtrees.", l, &m.PartialAnswers)
+	r.RegisterCounter("irisnet_subquery_rpcs_total", "Network sends on the subquery path (single messages and batches).", l, &m.SubqueryRPCs)
+	r.RegisterCounter("irisnet_batches_total", "Batched subquery messages sent.", l, &m.Batches)
+	r.RegisterCounter("irisnet_coalesced_subqueries_total", "Subqueries answered by joining an in-flight fetch.", l, &m.Coalesced)
+	r.RegisterSizeHistogram("irisnet_subquery_batch_size", "Entries per batched subquery message.", l, m.BatchSize)
 	r.GaugeFunc("irisnet_store_nodes", "Element nodes in the site database.", l,
 		func() float64 { return float64(s.StoreSize()) })
 	r.GaugeFunc("irisnet_cached_fragments", "Complete (cached, non-owned) IDable nodes in the store.", l,
@@ -146,6 +183,7 @@ type Site struct {
 	cpu      *transport.CPU
 	compiler *qeg.Compiler
 	call     *transport.Caller
+	flights  *flightGroup
 
 	// wmu serializes writers; readers never take it.
 	wmu   sync.Mutex
@@ -167,11 +205,15 @@ func New(cfg Config, rootName, rootID string) *Site {
 		cfg.Logger = slog.New(noopHandler{})
 	}
 	cfg.Logger = cfg.Logger.With("site", cfg.Name)
+	if cfg.BatchByteCap <= 0 {
+		cfg.BatchByteCap = DefaultBatchByteCap
+	}
 	s := &Site{
 		cfg:      cfg,
 		log:      cfg.Logger,
 		cpu:      transport.NewCPU(cfg.CPUSlots),
 		compiler: qeg.NewCompiler(cfg.Schema, cfg.NaivePlans),
+		flights:  newFlightGroup(),
 	}
 	s.state.Store(&siteState{
 		store:    fragment.NewStore(rootName, rootID).Seal(),
@@ -179,6 +221,7 @@ func New(cfg Config, rootName, rootID string) *Site {
 		migrated: map[string]string{},
 	})
 	s.Metrics.Breakdown = metrics.NewBreakdown()
+	s.Metrics.BatchSize = metrics.NewSizeHistogram(0)
 	s.call = &transport.Caller{
 		Net:        cfg.Net,
 		Policy:     cfg.Retry,
@@ -304,7 +347,9 @@ func (s *Site) Handle(ctx context.Context, payload []byte) ([]byte, error) {
 	}
 	switch msg.Kind {
 	case KindQuery:
-		resp = s.handleQuery(ctx, msg, len(payload))
+		resp = s.handleQuery(ctx, msg, len(payload), nil)
+	case KindBatch:
+		resp = s.handleBatch(ctx, msg, len(payload))
 	case KindUpdate:
 		resp = s.handleUpdate(ctx, msg)
 	case KindDelegate:
@@ -324,7 +369,12 @@ func (s *Site) Handle(ctx context.Context, payload []byte) ([]byte, error) {
 // Subquery failures do not fail the query: the affected subtree is spliced
 // in as an unreachable placeholder and listed in the result's Unreachable
 // paths (partial answers).
-func (s *Site) handleQuery(ctx context.Context, msg *Message, reqBytes int) *Message {
+//
+// pinned, when non-nil, is the sealed snapshot every plan evaluates against
+// — batch entries share one snapshot so all entries of a batch answer from
+// a single consistent version. Nil loads the latest published snapshot per
+// plan, the behavior for individually arriving queries.
+func (s *Site) handleQuery(ctx context.Context, msg *Message, reqBytes int, pinned *fragment.Store) *Message {
 	// Tracing: a TraceID on the query makes this hop record a span. The
 	// per-hop retry/deadline tallies ride in the context so concurrent
 	// queries do not race on the site-wide counters.
@@ -394,7 +444,10 @@ func (s *Site) handleQuery(ctx context.Context, msg *Message, reqBytes int) *Mes
 		// deep working copy (they splice sub-answers into it between
 		// rounds and may navigate parent axes, which structural sharing
 		// does not preserve).
-		snap := s.state.Load().store
+		snap := pinned
+		if snap == nil {
+			snap = s.state.Load().store
+		}
 		var work *fragment.Store // nil = evaluate the published snapshot
 		if plan.NestedIdx >= 0 {
 			work = snap.Clone()
@@ -447,32 +500,24 @@ func (s *Site) handleQuery(ctx context.Context, msg *Message, reqBytes int) *Mes
 			}
 			askedAny = true
 			fanout += len(fresh)
-			// Subqueries address disjoint parts of the hierarchy; fetch
-			// them concurrently (the splice itself stays serialized).
+			// Subqueries address disjoint parts of the hierarchy; the
+			// dispatcher fetches them concurrently, coalescing duplicate
+			// in-flight fetches and batching per destination site (the
+			// splice itself stays serialized).
 			tc := time.Now()
-			subs := make([]*xmldb.Node, len(fresh))
-			downs := make([][]string, len(fresh))
-			kids := make([]*trace.Span, len(fresh))
-			errs := make([]error, len(fresh))
-			var wg sync.WaitGroup
-			for i, sq := range fresh {
-				wg.Add(1)
-				go func(i int, sq qeg.Subquery) {
-					defer wg.Done()
-					subs[i], downs[i], kids[i], errs[i] = s.fetchSubquery(ctx, sq, msg.TraceID)
-				}(i, sq)
-			}
-			wg.Wait()
+			results, batchSpans := s.dispatchSubqueries(ctx, fresh, msg.TraceID)
 			commTime += time.Since(tc)
 			if span != nil {
-				for _, k := range kids {
-					if k != nil {
-						span.Children = append(span.Children, k)
+				span.Children = append(span.Children, batchSpans...)
+				for _, r := range results {
+					if r.span != nil {
+						span.Children = append(span.Children, r.span)
 					}
 				}
 			}
-			for i, sub := range subs {
-				if errs[i] != nil {
+			for i, r := range results {
+				sub := r.frag
+				if r.err != nil {
 					// Partial answer: the target's owner did not respond
 					// within the remaining budget. Splice an unreachable
 					// placeholder instead of failing the whole query; the
@@ -482,6 +527,9 @@ func (s *Site) handleQuery(ctx context.Context, msg *Message, reqBytes int) *Mes
 					}
 					continue
 				}
+				// The site-cache merge already happened in the dispatch
+				// layer, before the fetch's flight retired (dispatch.go);
+				// only the answer (and working copy) splices remain.
 				var mergeErr error
 				s.cpu.Do(func() {
 					if work != nil {
@@ -491,15 +539,12 @@ func (s *Site) handleQuery(ctx context.Context, msg *Message, reqBytes int) *Mes
 						mergeErr = ans.MergeFragment(sub)
 					}
 				})
-				if mergeErr == nil && s.cfg.Caching {
-					mergeErr = s.mergeCache(sub)
-				}
 				if mergeErr != nil {
 					return errorMessage(fmt.Errorf("site %s: splicing subanswer: %w", s.cfg.Name, mergeErr))
 				}
 				// Unreachable markers carry no data, so merging drops them;
 				// re-apply the downstream site's partial-answer list here.
-				for _, us := range downs[i] {
+				for _, us := range r.downs {
 					p, perr := xmldb.ParseIDPath(us)
 					if perr != nil {
 						continue
@@ -619,6 +664,7 @@ func (s *Site) markUnreachable(ans *fragment.Store, set map[string]bool, p xmldb
 // this site's capacity.
 func (s *Site) fetchSubquery(ctx context.Context, sq qeg.Subquery, traceID string) (*xmldb.Node, []string, *trace.Span, error) {
 	s.Metrics.Subqueries.Inc()
+	s.Metrics.SubqueryRPCs.Inc()
 	errSpan := func(site string, err error) *trace.Span {
 		if traceID == "" {
 			return nil

@@ -28,6 +28,12 @@ type testDeployment struct {
 }
 
 func deploy(t *testing.T, caching bool) *testDeployment {
+	return deployCfg(t, caching, transport.SimConfig{}, nil)
+}
+
+// deployCfg is deploy with a custom simulated network and an optional
+// per-site config mutator (batching caps, coalescing switches).
+func deployCfg(t *testing.T, caching bool, sim transport.SimConfig, mut func(*Config)) *testDeployment {
 	t.Helper()
 	cfg := workload.DBConfig{Cities: 2, Neighborhoods: 2, Blocks: 3, Spaces: 3, Seed: 5}
 	db := workload.Build(cfg)
@@ -39,7 +45,7 @@ func deploy(t *testing.T, caching bool) *testDeployment {
 		}
 	}
 	d := &testDeployment{
-		net:      transport.NewSimNet(transport.SimConfig{}),
+		net:      transport.NewSimNet(sim),
 		registry: naming.NewRegistry(),
 		sites:    map[string]*Site{},
 		db:       db,
@@ -51,7 +57,7 @@ func deploy(t *testing.T, caching bool) *testDeployment {
 		t.Fatal(err)
 	}
 	for _, name := range assign.Sites() {
-		s := New(Config{
+		sc := Config{
 			Name:     name,
 			Service:  workload.Service,
 			Net:      d.net,
@@ -61,7 +67,11 @@ func deploy(t *testing.T, caching bool) *testDeployment {
 			Caching:  caching,
 			CPUSlots: 1,
 			Clock:    d.clock,
-		}, workload.RootName, workload.RootID)
+		}
+		if mut != nil {
+			mut(&sc)
+		}
+		s := New(sc, workload.RootName, workload.RootID)
 		s.Load(stores[name], owned[name])
 		if err := s.Start(); err != nil {
 			t.Fatal(err)

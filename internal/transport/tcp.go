@@ -21,11 +21,20 @@ import (
 // payload bytes. One request/response pair per connection acquisition;
 // connections are pooled per peer.
 type TCPNet struct {
+	// MaxIdlePerPeer caps the pooled idle connections per destination site;
+	// connections returned beyond the cap are closed instead of pooled.
+	// Zero or negative uses DefaultMaxIdlePerPeer. Set before the first
+	// call to a peer (the cap is captured when that peer's pool is built).
+	MaxIdlePerPeer int
+
 	mu        sync.RWMutex
 	addrs     map[string]string
 	listeners map[string]net.Listener
 	pools     map[string]*connPool
 }
+
+// DefaultMaxIdlePerPeer is the idle-connection cap per destination site.
+const DefaultMaxIdlePerPeer = 16
 
 // NewTCPNet creates a TCP transport with the given site address book.
 func NewTCPNet(addrs map[string]string) *TCPNet {
@@ -145,7 +154,11 @@ func (t *TCPNet) CallContext(ctx context.Context, site string, payload []byte) (
 		t.mu.Lock()
 		pool = t.pools[site]
 		if pool == nil {
-			pool = &connPool{addr: addr}
+			maxIdle := t.MaxIdlePerPeer
+			if maxIdle <= 0 {
+				maxIdle = DefaultMaxIdlePerPeer
+			}
+			pool = &connPool{addr: addr, maxIdle: maxIdle}
 			t.pools[site] = pool
 		}
 		t.mu.Unlock()
@@ -177,6 +190,13 @@ func (t *TCPNet) CallContext(ctx context.Context, site string, payload []byte) (
 			return nil, err
 		}
 	}
+	if ctx.Err() != nil {
+		// The context expired while the response was in flight: the caller
+		// has already given up on this exchange, so treat the connection as
+		// suspect rather than pooling it for reuse.
+		c.close()
+		return nil, ctx.Err()
+	}
 	pool.put(c)
 	if status != 0 {
 		return nil, fmt.Errorf("transport: remote error from %s: %s", site, resp)
@@ -184,11 +204,12 @@ func (t *TCPNet) CallContext(ctx context.Context, site string, payload []byte) (
 	return resp, nil
 }
 
-// connPool is a small free list of client connections to one peer.
+// connPool is a bounded free list of client connections to one peer.
 type connPool struct {
-	addr string
-	mu   sync.Mutex
-	free []*clientConn
+	addr    string
+	maxIdle int
+	mu      sync.Mutex
+	free    []*clientConn
 }
 
 type clientConn struct {
@@ -217,11 +238,18 @@ func (p *connPool) get(ctx context.Context) (*clientConn, error) {
 func (p *connPool) put(c *clientConn) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if len(p.free) < 16 {
+	if len(p.free) < p.maxIdle {
 		p.free = append(p.free, c)
 		return
 	}
 	c.close()
+}
+
+// idle returns the current free-list size (tests).
+func (p *connPool) idle() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
 }
 
 func (c *clientConn) roundTrip(payload []byte) (byte, []byte, error) {

@@ -63,6 +63,13 @@ type SimConfig struct {
 	Latency time.Duration
 	// Jitter adds up to this much uniformly distributed extra delay.
 	Jitter time.Duration
+	// PerMessage is the fixed per-message transmission overhead (framing,
+	// per-packet kernel/NIC work) charged serially on the destination's
+	// ingress link before propagation: concurrent messages to one site
+	// queue behind each other for this long, while propagation itself
+	// overlaps. Zero (the default) keeps the pure propagation model. This
+	// is the cost a batched wire format amortizes across its entries.
+	PerMessage time.Duration
 	// Seed feeds the jitter and fault sources; 0 uses a fixed default.
 	Seed int64
 }
@@ -132,6 +139,7 @@ type SimNet struct {
 	mu       sync.RWMutex
 	handlers map[string]Handler
 	faults   map[string]*faultState
+	links    map[string]*sync.Mutex
 	rng      *rand.Rand
 	rngMu    sync.Mutex
 }
@@ -147,6 +155,7 @@ func NewSimNet(cfg SimConfig) *SimNet {
 		seed:     seed,
 		handlers: map[string]Handler{},
 		faults:   map[string]*faultState{},
+		links:    map[string]*sync.Mutex{},
 		rng:      rand.New(rand.NewSource(seed)),
 	}
 }
@@ -249,6 +258,9 @@ func (n *SimNet) CallContext(ctx context.Context, site string, payload []byte) (
 			return nil, fmt.Errorf("%w en route to %q", ErrDropped, site)
 		}
 	}
+	if err := n.transmit(ctx, site); err != nil {
+		return nil, err
+	}
 	if err := n.sleepOneWay(ctx); err != nil {
 		return nil, err
 	}
@@ -260,6 +272,25 @@ func (n *SimNet) CallContext(ctx context.Context, site string, payload []byte) (
 		return nil, err
 	}
 	return resp, nil
+}
+
+// transmit charges the per-message overhead serially on the destination's
+// ingress link: one message occupies the link at a time, so fan-outs of
+// many small messages queue while a single batch pays the cost once.
+func (n *SimNet) transmit(ctx context.Context, site string) error {
+	if n.cfg.PerMessage <= 0 {
+		return nil
+	}
+	n.mu.Lock()
+	mu, ok := n.links[site]
+	if !ok {
+		mu = &sync.Mutex{}
+		n.links[site] = mu
+	}
+	n.mu.Unlock()
+	mu.Lock()
+	defer mu.Unlock()
+	return sleepCtx(ctx, n.cfg.PerMessage)
 }
 
 func (n *SimNet) sleepOneWay(ctx context.Context) error {

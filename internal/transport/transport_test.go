@@ -229,6 +229,72 @@ func TestTCPNetConcurrentClients(t *testing.T) {
 	wg.Wait()
 }
 
+func TestTCPNetPoolBoundedUnderChurn(t *testing.T) {
+	net := NewTCPNet(map[string]string{"srv": "127.0.0.1:0"})
+	if err := net.Register("srv", func(_ context.Context, p []byte) ([]byte, error) { return p, nil }); err != nil {
+		t.Fatal(err)
+	}
+	defer net.Unregister("srv")
+	addr, _ := net.Addr("srv")
+	client := NewTCPNet(map[string]string{"srv": addr})
+	client.MaxIdlePerPeer = 3
+
+	// Churn: many more concurrent callers than the idle cap, over several
+	// rounds so connections are repeatedly taken from and returned to the
+	// pool. The free list must never exceed the cap.
+	for round := 0; round < 5; round++ {
+		var wg sync.WaitGroup
+		for i := 0; i < 12; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				msg := []byte(fmt.Sprintf("m%d", i))
+				resp, err := client.Call("srv", msg)
+				if err != nil || !bytes.Equal(resp, msg) {
+					t.Errorf("call %d: %v", i, err)
+				}
+			}(i)
+		}
+		wg.Wait()
+		client.mu.RLock()
+		pool := client.pools["srv"]
+		client.mu.RUnlock()
+		if pool == nil {
+			t.Fatal("no pool built for srv")
+		}
+		if n := pool.idle(); n > 3 {
+			t.Fatalf("round %d: %d idle conns pooled, cap 3", round, n)
+		}
+	}
+}
+
+func TestTCPNetExpiredContextNotPooled(t *testing.T) {
+	release := make(chan struct{})
+	net := NewTCPNet(map[string]string{"srv": "127.0.0.1:0"})
+	if err := net.Register("srv", func(_ context.Context, p []byte) ([]byte, error) {
+		<-release
+		return p, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer net.Unregister("srv")
+	addr, _ := net.Addr("srv")
+	client := NewTCPNet(map[string]string{"srv": addr})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := client.CallContext(ctx, "srv", []byte("x")); err == nil {
+		t.Fatal("expected deadline error")
+	}
+	close(release)
+	client.mu.RLock()
+	pool := client.pools["srv"]
+	client.mu.RUnlock()
+	if pool != nil && pool.idle() != 0 {
+		t.Fatalf("%d conns pooled after an expired call, want 0", pool.idle())
+	}
+}
+
 func TestFrameCodec(t *testing.T) {
 	var buf bytes.Buffer
 	payload := []byte("some payload with \x00 binary")

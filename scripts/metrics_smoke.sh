@@ -38,7 +38,9 @@ fi
 
 METRICS=$(curl -fsS "http://$ADMIN/metrics")
 for series in irisnet_queries_total irisnet_cache_hits_total irisnet_cache_misses_total \
-    irisnet_retries_total irisnet_partial_answers_total irisnet_store_nodes; do
+    irisnet_retries_total irisnet_partial_answers_total irisnet_store_nodes \
+    irisnet_subquery_rpcs_total irisnet_batches_total \
+    irisnet_coalesced_subqueries_total irisnet_subquery_batch_size; do
     if ! printf '%s\n' "$METRICS" | grep -q "^$series"; then
         echo "metrics-smoke: /metrics missing series $series" >&2
         printf '%s\n' "$METRICS" >&2
