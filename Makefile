@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci build fmt vet test race-stress bench-smoke metrics-smoke
+.PHONY: ci build fmt vet test race-stress bench-smoke metrics-smoke cache-smoke
 
-ci: build fmt vet test race-stress bench-smoke metrics-smoke
+ci: build fmt vet test race-stress bench-smoke metrics-smoke cache-smoke
 
 build:
 	$(GO) build ./...
@@ -40,3 +40,9 @@ bench-smoke:
 # endpoint: /healthz must answer ok, /metrics must expose the query series.
 metrics-smoke:
 	./scripts/metrics_smoke.sh
+
+# Bounded-cache experiment in smoke mode: short arms, but the acceptance
+# checks (cache bytes never exceed budget + one unit; hit rate degrades
+# gracefully as the budget shrinks) are still computed and enforced.
+cache-smoke:
+	./scripts/cache_smoke.sh

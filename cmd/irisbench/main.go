@@ -9,7 +9,7 @@
 //	irisbench -exp fig7 -dur 5s   # one experiment, longer measurement
 //
 // Experiments: updates, fig7, fig8, fig9, fig10, fig11, latency, faults,
-// trace-overhead, read-write-mix, batching, all.
+// trace-overhead, read-write-mix, batching, cache-pressure, all.
 package main
 
 import (
@@ -28,7 +28,7 @@ import (
 )
 
 var (
-	expFlag   = flag.String("exp", "all", "experiment: updates|fig7|fig8|fig9|fig10|fig11|latency|faults|trace-overhead|read-write-mix|batching|all")
+	expFlag   = flag.String("exp", "all", "experiment: updates|fig7|fig8|fig9|fig10|fig11|latency|faults|trace-overhead|read-write-mix|batching|cache-pressure|all")
 	durFlag   = flag.Duration("dur", 3*time.Second, "measurement duration per cell")
 	clients   = flag.Int("clients", 24, "closed-loop query clients")
 	largeFlag = flag.Bool("large", false, "use the x8 database where applicable")
@@ -51,8 +51,9 @@ func main() {
 		"trace-overhead": runTraceOverhead,
 		"read-write-mix": runReadWriteMix,
 		"batching":       runBatching,
+		"cache-pressure": runCachePressure,
 	}
-	order := []string{"updates", "fig7", "fig8", "fig9", "fig10", "fig11", "latency", "faults", "trace-overhead", "read-write-mix", "batching"}
+	order := []string{"updates", "fig7", "fig8", "fig9", "fig10", "fig11", "latency", "faults", "trace-overhead", "read-write-mix", "batching", "cache-pressure"}
 	if *expFlag == "all" {
 		for _, name := range order {
 			exps[name]()

@@ -44,6 +44,7 @@ func main() {
 		siteName  = flag.String("site", "", "name of the site to run (required)")
 		registry  = flag.Bool("registry", false, "also host the name registry for the deployment")
 		caching   = flag.Bool("caching", true, "cache query results at this site")
+		cacheCap  = flag.Int64("cache-budget", 0, "cache memory budget in bytes (0 = unbounded); cold cached units are evicted when accounted bytes exceed it")
 		adminAddr = flag.String("admin", "", "serve /metrics, /healthz, /debug/fragment on this host:port (\":0\" picks a port)")
 		verbose   = flag.Bool("v", false, "log per-query debug detail (trace IDs, cache hits, fan-out)")
 	)
@@ -63,10 +64,11 @@ func main() {
 		fail(logger, err)
 	}
 	node, err := deploy.StartSite(topo, *siteName, deploy.SiteOptions{
-		HostRegistry: *registry,
-		Caching:      *caching,
-		AdminAddr:    *adminAddr,
-		Logger:       logger,
+		HostRegistry:     *registry,
+		Caching:          *caching,
+		CacheBudgetBytes: *cacheCap,
+		AdminAddr:        *adminAddr,
+		Logger:           logger,
 	})
 	if err != nil {
 		fail(logger, err)
@@ -76,6 +78,7 @@ func main() {
 		"addr", topo.Sites[*siteName],
 		"registry_hosted", *registry,
 		"caching", *caching,
+		"cache_budget_bytes", *cacheCap,
 		"owned_nodes", len(node.Site.OwnedPaths()))
 	if node.AdminAddr != "" {
 		logger.Info("admin endpoint serving",

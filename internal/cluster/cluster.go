@@ -68,6 +68,10 @@ type Config struct {
 	PerMessage time.Duration
 	// Caching enables query-result caching at every site.
 	Caching bool
+	// CacheBudgetBytes bounds each site's accounted cached (non-owned)
+	// bytes; over budget, cold local-information units are evicted. Zero
+	// leaves caches unbounded. Only meaningful with Caching.
+	CacheBudgetBytes int64
 	// CacheBypass keeps cache writes but ignores cached data on reads
 	// (Figure 10's "caching with no hits" and Section 5.5's bypass).
 	CacheBypass bool
@@ -200,6 +204,7 @@ func New(arch Architecture, cfg Config) (*Cluster, error) {
 			Registry:          c.Registry,
 			Schema:            db.Schema,
 			Caching:           cfg.Caching,
+			CacheBudgetBytes:  cfg.CacheBudgetBytes,
 			CacheBypass:       cfg.CacheBypass,
 			NaivePlans:        cfg.NaivePlans,
 			CPUSlots:          cfg.CPUSlots,
@@ -316,8 +321,8 @@ func BalancedSkewCluster(cfg Config, hotCity, hotNB int) (*Cluster, error) {
 		s := site.New(site.Config{
 			Name: name, Service: workload.Service, Net: c.Net, DNS: c.NewResolver(),
 			Registry: c.Registry, Schema: db.Schema, Caching: cfg.Caching,
-			CacheBypass: cfg.CacheBypass,
-			NaivePlans:  cfg.NaivePlans, CPUSlots: cfg.CPUSlots,
+			CacheBudgetBytes: cfg.CacheBudgetBytes, CacheBypass: cfg.CacheBypass,
+			NaivePlans: cfg.NaivePlans, CPUSlots: cfg.CPUSlots,
 			CoarseLocking: cfg.CoarseLocking, Clock: cfg.Clock,
 			QueryWork: cfg.QueryWork, PerNodeWork: cfg.PerNodeWork, UpdateWork: cfg.UpdateWork,
 			CallTimeout: cfg.CallTimeout, Retry: cfg.Retry,

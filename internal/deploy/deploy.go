@@ -201,6 +201,9 @@ type SiteOptions struct {
 	HostRegistry bool
 	// Caching enables query-result caching.
 	Caching bool
+	// CacheBudgetBytes bounds the accounted bytes of cached (non-owned)
+	// data; zero leaves the cache unbounded. Only meaningful with Caching.
+	CacheBudgetBytes int64
 	// Schema overrides the inferred schema.
 	Schema *xpath.Schema
 	// AdminAddr, when non-empty, serves the observability endpoint
@@ -236,6 +239,7 @@ func (n *Node) Stop() {
 	if n.stopReg != nil {
 		n.stopReg()
 	}
+	n.Net.Close()
 }
 
 // StartSite loads the shared document, partitions it per the topology, and
@@ -280,15 +284,16 @@ func StartSite(t *Topology, name string, opts SiteOptions) (*Node, error) {
 		schema = inferSchema(doc)
 	}
 	s := site.New(site.Config{
-		Name:     name,
-		Service:  t.Service,
-		Net:      net,
-		DNS:      naming.NewClient(node.registry, t.Service, time.Minute, nil),
-		Registry: node.registry,
-		Schema:   schema,
-		Caching:  opts.Caching,
-		CPUSlots: 4,
-		Logger:   opts.Logger,
+		Name:             name,
+		Service:          t.Service,
+		Net:              net,
+		DNS:              naming.NewClient(node.registry, t.Service, time.Minute, nil),
+		Registry:         node.registry,
+		Schema:           schema,
+		Caching:          opts.Caching,
+		CacheBudgetBytes: opts.CacheBudgetBytes,
+		CPUSlots:         4,
+		Logger:           opts.Logger,
 	}, doc.Name, doc.ID())
 	store, okStore := stores[name]
 	if !okStore {

@@ -52,6 +52,9 @@ func (s *Store) Begin() *COW {
 	if n := s.nodes.Load(); n > 0 {
 		out.nodes.Store(n)
 	}
+	if b := s.cbytes.Load(); b > 0 {
+		out.cbytes.Store(b)
+	}
 	return &COW{out: out, fresh: map[*xmldb.Node]bool{root: true}}
 }
 
@@ -168,6 +171,9 @@ func (w *COW) AddChild(parent, c *xmldb.Node) *xmldb.Node {
 	if w.out.countKnown() {
 		w.out.addNodes(c.CountNodes())
 	}
+	if w.out.cachedBytesKnown() {
+		w.out.addCachedBytes(cachedBytesIn(c))
+	}
 	return c
 }
 
@@ -184,6 +190,9 @@ func (w *COW) RemoveChild(parent, child *xmldb.Node) bool {
 			if w.out.countKnown() {
 				w.out.addNodes(-child.CountNodes())
 			}
+			if w.out.cachedBytesKnown() {
+				w.out.addCachedBytes(-cachedBytesIn(child))
+			}
 			return true
 		}
 	}
@@ -197,6 +206,12 @@ func (w *COW) ApplyUpdate(p xmldb.IDPath, fields, attrs map[string]string, ts fl
 	n, err := w.Touch(p)
 	if err != nil {
 		return err
+	}
+	// Updates normally land on owned nodes, but a forwarding race can apply
+	// one to a cached copy; keep the unit's byte account in step.
+	recount := StatusOf(n) == StatusComplete && w.out.cachedBytesKnown()
+	if recount {
+		w.out.addCachedBytes(-LocalInfoBytes(n))
 	}
 	for name, val := range fields {
 		c := n.ChildNamed(name)
@@ -215,14 +230,28 @@ func (w *COW) ApplyUpdate(p xmldb.IDPath, fields, attrs map[string]string, ts fl
 		n.SetAttr(name, val)
 	}
 	SetTimestamp(n, ts)
+	if recount {
+		w.out.addCachedBytes(LocalInfoBytes(n))
+	}
 	return nil
 }
 
-// SetStatusAt rewrites the status attribute of the node at p.
+// SetStatusAt rewrites the status attribute of the node at p. Transitions
+// into and out of complete (migration handoffs turning an owned unit into
+// a cached copy and vice versa) move the unit's bytes in and out of the
+// cached-data account.
 func (w *COW) SetStatusAt(p xmldb.IDPath, st Status) error {
 	n, err := w.Touch(p)
 	if err != nil {
 		return err
+	}
+	if old := StatusOf(n); old != st && w.out.cachedBytesKnown() {
+		if old == StatusComplete {
+			w.out.addCachedBytes(-LocalInfoBytes(n))
+		}
+		if st == StatusComplete {
+			w.out.addCachedBytes(LocalInfoBytes(n))
+		}
 	}
 	SetStatus(n, st)
 	return nil
@@ -306,6 +335,10 @@ func (w *COW) mergeNode(dst, src *xmldb.Node) {
 // is safe because old versions are immutable (see the package comment).
 func (w *COW) applyLocalInfo(n *xmldb.Node, info *xmldb.Node, st Status) {
 	track := w.out.countKnown()
+	btrack := w.out.cachedBytesKnown()
+	if btrack && StatusOf(n) == StatusComplete {
+		w.out.addCachedBytes(-LocalInfoBytes(n))
+	}
 	n.Attrs = nil
 	for _, a := range info.Attrs {
 		if a.Name == xmldb.AttrStatus {
@@ -351,10 +384,16 @@ func (w *COW) applyLocalInfo(n *xmldb.Node, info *xmldb.Node, st Status) {
 			w.out.addNodes(1)
 		}
 	}
-	if track {
-		for _, dropped := range keep {
+	for _, dropped := range keep {
+		if track {
 			w.out.addNodes(-dropped.CountNodes())
 		}
+		if btrack {
+			w.out.addCachedBytes(-cachedBytesIn(dropped))
+		}
+	}
+	if btrack && st == StatusComplete {
+		w.out.addCachedBytes(LocalInfoBytes(n))
 	}
 }
 
@@ -389,6 +428,9 @@ func (w *COW) EvictLocalInfo(p xmldb.IDPath) error {
 		return err
 	}
 	track := w.out.countKnown()
+	if w.out.cachedBytesKnown() {
+		w.out.addCachedBytes(-LocalInfoBytes(n))
+	}
 	id := n.ID()
 	n.Attrs = nil
 	if id != "" {
@@ -436,6 +478,9 @@ func (w *COW) EvictSubtree(p xmldb.IDPath) error {
 	}
 	if w.out.countKnown() {
 		w.out.addNodes(-(n.CountNodes() - 1))
+	}
+	if w.out.cachedBytesKnown() {
+		w.out.addCachedBytes(-cachedBytesIn(n))
 	}
 	id := n.ID()
 	n.Attrs = nil

@@ -32,6 +32,12 @@ type Store struct {
 	// the zero value means "not computed yet".
 	cachedN atomic.Int64
 
+	// cbytes caches the accounted byte size of all cached (complete)
+	// local-information units, encoded as bytes+1 so the zero value means
+	// "not computed yet". Maintained incrementally by the mutators once
+	// known; see residency.go.
+	cbytes atomic.Int64
+
 	// sealed marks the store immutable. Mutating methods panic when set;
 	// it exists to catch writers that bypass the copy-on-write path.
 	sealed bool
@@ -158,6 +164,10 @@ func (s *Store) InstallLocalInfo(p xmldb.IDPath, info *xmldb.Node, st Status) er
 // applyLocalInfo overwrites n's local info unit from the detached fragment.
 func (s *Store) applyLocalInfo(n *xmldb.Node, info *xmldb.Node, st Status) {
 	track := s.countKnown()
+	btrack := s.cachedBytesKnown()
+	if btrack && StatusOf(n) == StatusComplete {
+		s.addCachedBytes(-LocalInfoBytes(n))
+	}
 	// Replace attributes wholesale (the local info unit includes them).
 	n.Attrs = nil
 	for _, a := range info.Attrs {
@@ -203,10 +213,16 @@ func (s *Store) applyLocalInfo(n *xmldb.Node, info *xmldb.Node, st Status) {
 			s.addNodes(1)
 		}
 	}
-	if track {
-		for _, dropped := range keep {
+	for _, dropped := range keep {
+		if track {
 			s.addNodes(-dropped.CountNodes())
 		}
+		if btrack {
+			s.addCachedBytes(-cachedBytesIn(dropped))
+		}
+	}
+	if btrack && st == StatusComplete {
+		s.addCachedBytes(LocalInfoBytes(n))
 	}
 }
 
@@ -466,6 +482,9 @@ func (s *Store) EvictLocalInfo(p xmldb.IDPath) error {
 		return fmt.Errorf("fragment: evict: %s has status %v, not complete", p, st)
 	}
 	track := s.countKnown()
+	if s.cachedBytesKnown() {
+		s.addCachedBytes(-LocalInfoBytes(n))
+	}
 	id := n.ID()
 	n.Attrs = nil
 	if id != "" {
@@ -510,6 +529,9 @@ func (s *Store) EvictSubtree(p xmldb.IDPath) error {
 	}
 	if s.countKnown() {
 		s.addNodes(-(n.CountNodes() - 1))
+	}
+	if s.cachedBytesKnown() {
+		s.addCachedBytes(-cachedBytesIn(n))
 	}
 	id := n.ID()
 	n.Attrs = nil
@@ -562,6 +584,9 @@ func (s *Store) Clone() *Store {
 	c := &Store{Root: s.Root.Clone()}
 	if n := s.nodes.Load(); n > 0 {
 		c.nodes.Store(n)
+	}
+	if b := s.cbytes.Load(); b > 0 {
+		c.cbytes.Store(b)
 	}
 	return c
 }

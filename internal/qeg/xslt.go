@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"irisnet/internal/xmldb"
 	"irisnet/internal/xpath"
@@ -177,6 +178,77 @@ func reconstructStep(match, axisName, predText string) (*xpath.LocStep, error) {
 	return step, nil
 }
 
+// DefaultPlanCacheCap bounds the number of distinct query texts whose plans
+// a Compiler retains. Sized for a site's realistic working set of query
+// shapes; ad-hoc workloads past the cap recompile cold entries instead of
+// growing the cache without bound.
+const DefaultPlanCacheCap = 1024
+
+// planEntry is one cached compilation result plus its clock reference bit.
+type planEntry struct {
+	plans []*Plan
+	ref   atomic.Bool // set on hit; cleared (second chance) by the sweeper
+}
+
+// planCache bounds the per-query plan cache with a clock (second-chance)
+// policy over a sync.Map, keeping the hit path lock-free: a hit is one
+// sync.Map load plus one atomic bit set. Inserts past the cap trigger a
+// sweep, serialized on mu, that gives recently referenced entries a second
+// chance and deletes the rest until the cache is back at the cap. Sizes
+// are approximate under concurrency (an insert racing a sweep can leave
+// the cache one entry over for a moment), which is fine for a bound whose
+// only job is to stop unbounded growth.
+type planCache struct {
+	cap  int
+	m    sync.Map // query text -> *planEntry
+	size atomic.Int64
+	mu   sync.Mutex // serializes sweeps
+}
+
+func (c *planCache) get(query string) ([]*Plan, bool) {
+	v, ok := c.m.Load(query)
+	if !ok {
+		return nil, false
+	}
+	e := v.(*planEntry)
+	e.ref.Store(true)
+	return e.plans, true
+}
+
+func (c *planCache) put(query string, plans []*Plan) {
+	e := &planEntry{plans: plans}
+	e.ref.Store(true) // grace period: a brand-new entry survives one sweep
+	if _, loaded := c.m.LoadOrStore(query, e); loaded {
+		return // concurrent compile of the same query; either copy wins
+	}
+	if c.size.Add(1) > int64(c.cap) {
+		c.sweep()
+	}
+}
+
+func (c *planCache) sweep() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Two passes bound the scan: the first clears reference bits (and
+	// already deletes anything cold), the second can then evict entries
+	// that were referenced before but not since.
+	for pass := 0; pass < 2 && c.size.Load() > int64(c.cap); pass++ {
+		c.m.Range(func(k, v any) bool {
+			if c.size.Load() <= int64(c.cap) {
+				return false
+			}
+			if v.(*planEntry).ref.CompareAndSwap(true, false) {
+				return true // second chance
+			}
+			c.m.Delete(k)
+			c.size.Add(-1)
+			return true
+		})
+	}
+}
+
+func (c *planCache) len() int { return int(c.size.Load()) }
+
 // Compiler caches compiled plans per query text and implements the paper's
 // fast path; construct one per organizing agent. The zero value is not
 // usable: NewCompiler "pre-compiles the template program" exactly as an OA
@@ -184,13 +256,14 @@ func reconstructStep(match, axisName, predText string) (*xpath.LocStep, error) {
 //
 // Compile is safe for concurrent use: sites with more than one CPU slot
 // compile on whichever slot the query landed on, so the plan cache is a
-// sync.Map (lock-free reads once a query's plans are cached; duplicate
-// compilation of a brand-new query is possible and harmless — plans are
-// immutable and either copy wins).
+// clock-swept sync.Map (lock-free reads once a query's plans are cached;
+// duplicate compilation of a brand-new query is possible and harmless —
+// plans are immutable and either copy wins). The cache is bounded by
+// DefaultPlanCacheCap so ad-hoc query workloads cannot grow it forever.
 type Compiler struct {
 	schema *xpath.Schema
 	naive  bool
-	cache  *sync.Map // query text -> []*Plan
+	cache  *planCache
 }
 
 // NewCompiler builds a compiler for a service schema. naive selects the
@@ -200,7 +273,7 @@ type Compiler struct {
 func NewCompiler(schema *xpath.Schema, naive bool) *Compiler {
 	c := &Compiler{schema: schema, naive: naive}
 	if !naive {
-		c.cache = &sync.Map{}
+		c.cache = &planCache{cap: DefaultPlanCacheCap}
 		// Startup template compilation from a dummy query, as the paper's
 		// organizing agents do.
 		if _, err := CompilePlan("/dummy[@id='x']/probe", schema); err != nil {
@@ -210,11 +283,20 @@ func NewCompiler(schema *xpath.Schema, naive bool) *Compiler {
 	return c
 }
 
+// CachedPlans reports the number of query texts currently cached (tests and
+// observability; approximate while sweeps race inserts).
+func (c *Compiler) CachedPlans() int {
+	if c.cache == nil {
+		return 0
+	}
+	return c.cache.len()
+}
+
 // Compile produces the plans (one per union branch) for a query.
 func (c *Compiler) Compile(query string) ([]*Plan, error) {
 	if c.cache != nil {
-		if plans, ok := c.cache.Load(query); ok {
-			return plans.([]*Plan), nil
+		if plans, ok := c.cache.get(query); ok {
+			return plans, nil
 		}
 	}
 	var plans []*Plan
@@ -242,7 +324,7 @@ func (c *Compiler) Compile(query string) ([]*Plan, error) {
 		}
 	}
 	if c.cache != nil {
-		c.cache.Store(query, plans)
+		c.cache.put(query, plans)
 	}
 	return plans, nil
 }

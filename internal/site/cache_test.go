@@ -1,0 +1,154 @@
+package site
+
+import (
+	"fmt"
+
+	"sync"
+	"testing"
+	"time"
+
+	"irisnet/internal/fragment"
+	"irisnet/internal/qeg"
+	"irisnet/internal/transport"
+	"irisnet/internal/workload"
+	"irisnet/internal/xmldb"
+)
+
+func checkSiteInvariants(t *testing.T, d *testDeployment, s *Site) {
+	t.Helper()
+	var owned []xmldb.IDPath
+	for _, k := range s.OwnedPaths() {
+		p, err := xmldb.ParseIDPath(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		owned = append(owned, p)
+	}
+	if errs := fragment.CheckInvariants(s.StoreSnapshot(), d.db.Doc, owned, false); len(errs) > 0 {
+		t.Fatalf("invariants: %v", errs)
+	}
+}
+
+// TestSiteConcurrentBudgetedEviction is the bounded-cache property test:
+// queries, sensor updates and budget-driven eviction race freely (run with
+// -race), and afterwards the store must still satisfy I1/I2 and C1/C2, the
+// accounted cache bytes must be back under the budget once no fetch is in
+// flight, and answers must still be correct.
+func TestSiteConcurrentBudgetedEviction(t *testing.T) {
+	sim := transport.SimConfig{Latency: time.Millisecond}
+	const budget = 512 // well below one cached block subtree: constant pressure
+	d := deployCfg(t, true, sim, func(c *Config) { c.CacheBudgetBytes = budget })
+	cityName := "city-" + workload.CityName(0)
+	city := d.sites[cityName]
+	const iters = 30
+
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				q := d.db.BlockQuery(0, (w+i)%2, i%3)
+				msg := &Message{Kind: KindQuery, Query: q}
+				respB, err := d.net.Call(cityName, msg.Encode())
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				if resp, derr := DecodeMessage(respB); derr != nil || resp.AsError() != nil {
+					t.Errorf("worker %d: %v %v", w, derr, resp.AsError())
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				target := d.db.SpacePaths[(w*iters+i)%len(d.db.SpacePaths)]
+				msg := &Message{Kind: KindUpdate, Path: target.String(),
+					Fields: map[string]string{"available": fmt.Sprintf("v%d", i)}}
+				if _, err := d.net.Call(d.assign.OwnerOf(target), msg.Encode()); err != nil {
+					t.Errorf("update %d: %v", i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if city.Metrics.Evictions.Value() == 0 {
+		t.Fatal("budget pressure produced no evictions")
+	}
+	// With no fetch in flight nothing is pinned, so one pressure pass must
+	// bring the published version down to the budget.
+	city.relieveCachePressure()
+	if got := city.CacheBytes(); int64(got) > budget {
+		t.Fatalf("cache at %d bytes after pressure relief, budget %d", got, budget)
+	}
+	checkSiteInvariants(t, d, city)
+
+	// Queries still answer correctly after the churn (the updates changed
+	// field values, so check the structural answer, not exact bytes).
+	q := d.db.BlockPath(0, 0, 0).String()
+	frag := d.query(t, cityName, q)
+	ans, err := qeg.ExtractAnswer(frag, q, d.clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != 1 || ans[0].Name != "block" {
+		t.Fatalf("post-stress answer: %v", ans)
+	}
+}
+
+// TestSiteEvictionSkipsPinnedUnits holds a pin on one unit the way a merge
+// pins the units of the fragment it is installing, and drives the cache far
+// over a 1-byte budget: every cold unit must go, the pinned unit must survive
+// both the merge-time eviction and the background pressure pass, and
+// unpinning must make it reclaimable again.
+func TestSiteEvictionSkipsPinnedUnits(t *testing.T) {
+	d := deployCfg(t, true, transport.SimConfig{}, func(c *Config) { c.CacheBudgetBytes = 1 })
+	cityName := "city-" + workload.CityName(0)
+	city := d.sites[cityName]
+	block0, block1 := d.db.BlockPath(0, 0, 0), d.db.BlockPath(0, 0, 1)
+
+	d.query(t, cityName, d.db.BlockQuery(0, 0, 0))
+
+	// Hold an extra pin on block1 across its fetch and beyond, as if its
+	// merge never completed.
+	city.cache.pin(block1.Key())
+	d.query(t, cityName, d.db.BlockQuery(0, 0, 1))
+
+	// The merge that installed block1 ran eviction: the cold block0 copy is
+	// gone, the pinned block1 unit is intact.
+	snap := city.StoreSnapshot()
+	if n := xmldb.FindByIDPath(snap.Root, block0); n != nil && fragment.StatusOf(n) == fragment.StatusComplete {
+		t.Fatal("cold unpinned unit survived eviction under a 1-byte budget")
+	}
+	if n := xmldb.FindByIDPath(snap.Root, block1); n == nil || fragment.StatusOf(n) != fragment.StatusComplete {
+		t.Fatal("pinned unit was evicted during merge")
+	}
+
+	// A background pressure pass must not touch it either.
+	city.relieveCachePressure()
+	if n := xmldb.FindByIDPath(city.StoreSnapshot().Root, block1); n == nil || fragment.StatusOf(n) != fragment.StatusComplete {
+		t.Fatal("pinned unit was evicted by the pressure loop")
+	}
+	if int64(city.CacheBytes()) <= city.cfg.CacheBudgetBytes {
+		t.Fatal("test premise broken: pinned unit should keep the cache over budget")
+	}
+
+	// Unpinning releases it to the policy.
+	city.cache.unpin(block1.Key())
+	city.relieveCachePressure()
+	if got := city.CacheBytes(); int64(got) > city.cfg.CacheBudgetBytes {
+		t.Fatalf("cache at %d bytes after unpin and pressure relief, budget %d",
+			got, city.cfg.CacheBudgetBytes)
+	}
+	if n := xmldb.FindByIDPath(city.StoreSnapshot().Root, block1); n != nil && fragment.StatusOf(n) == fragment.StatusComplete {
+		t.Fatal("unpinned cold unit not reclaimed")
+	}
+	checkSiteInvariants(t, d, city)
+}

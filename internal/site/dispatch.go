@@ -92,6 +92,13 @@ func (s *Site) cacheFetched(frag *xmldb.Node, err *error) *xmldb.Node {
 	if *err != nil || !s.cfg.Caching || frag == nil {
 		return frag
 	}
+	if s.cache != nil {
+		// Pin the fragment's units across the merge: the budget eviction
+		// inside the transaction must not cancel the fetch it is committing
+		// (see cacheManager.pinFragment).
+		s.cache.pinFragment(frag)
+		defer s.cache.unpinFragment(frag)
+	}
 	if cerr := s.mergeCache(frag); cerr != nil {
 		*err = fmt.Errorf("site %s: caching subanswer: %w", s.cfg.Name, cerr)
 		return nil
@@ -215,6 +222,16 @@ func (s *Site) dispatchSubqueries(ctx context.Context, fresh []qeg.Subquery, tra
 				continue
 			}
 			for _, piece := range splitByByteCap(group, s.cfg.BatchByteCap) {
+				if len(piece) == 1 {
+					// A piece collapses to one entry when a single entry's
+					// encoded size exceeds the byte cap (or the cap leaves a
+					// remainder of one). A batch of one buys nothing, so fall
+					// back to a plain — possibly oversized — KindQuery
+					// message rather than a degenerate batch.
+					wg.Add(1)
+					go func(p pendingSub) { defer wg.Done(); single(p) }(piece[0])
+					continue
+				}
 				wg.Add(1)
 				go func(owner string, piece []pendingSub) {
 					defer wg.Done()

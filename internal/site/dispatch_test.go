@@ -265,15 +265,16 @@ func TestBatchSplittingByteIdenticalAnswer(t *testing.T) {
 	}
 
 	// The uncapped run shipped all three subqueries as one batch message;
-	// the 1-byte cap forced one message per entry.
+	// the 1-byte cap collapses every piece to a single entry, which falls
+	// back to plain per-entry KindQuery messages (no degenerate batches).
 	wc, sc := whole.sites[cityName], split.sites[cityName]
 	if wc.Metrics.Subqueries.Value() != 3 || wc.Metrics.Batches.Value() != 1 || wc.Metrics.SubqueryRPCs.Value() != 1 {
 		t.Fatalf("uncapped: subqueries=%d batches=%d rpcs=%d, want 3/1/1",
 			wc.Metrics.Subqueries.Value(), wc.Metrics.Batches.Value(), wc.Metrics.SubqueryRPCs.Value())
 	}
-	if sc.Metrics.Batches.Value() != 3 || sc.Metrics.SubqueryRPCs.Value() != 3 {
-		t.Fatalf("capped: batches=%d rpcs=%d, want 3/3",
-			sc.Metrics.Batches.Value(), sc.Metrics.SubqueryRPCs.Value())
+	if sc.Metrics.Batches.Value() != 0 || sc.Metrics.SubqueryRPCs.Value() != 3 || sc.Metrics.Subqueries.Value() != 3 {
+		t.Fatalf("capped: subqueries=%d batches=%d rpcs=%d, want 3/0/3",
+			sc.Metrics.Subqueries.Value(), sc.Metrics.Batches.Value(), sc.Metrics.SubqueryRPCs.Value())
 	}
 	if n := wc.Metrics.BatchSize.Count(); n != 1 || wc.Metrics.BatchSize.Mean() != 3 {
 		t.Fatalf("uncapped batch-size histogram: count=%d mean=%v", n, wc.Metrics.BatchSize.Mean())

@@ -95,6 +95,12 @@ type Config struct {
 	// in-flight subqueries at caching sites (see dispatch.go). Only
 	// meaningful when Caching is set: coalescing never runs without it.
 	DisableCoalescing bool
+	// CacheBudgetBytes bounds the accounted in-memory size of cached
+	// (non-owned) data. When a cache merge pushes the store past the
+	// budget, the coldest local-information units are evicted in the same
+	// copy-on-write transaction (see cache.go); zero leaves the cache
+	// unbounded, the pre-budget behavior. Only meaningful with Caching.
+	CacheBudgetBytes int64
 }
 
 // DefaultBatchByteCap bounds one batch message's encoded payload (256 KiB):
@@ -125,6 +131,9 @@ type Metrics struct {
 	// Coalesced counts subqueries answered by joining another query's
 	// in-flight fetch instead of going upstream (caching sites only).
 	Coalesced metrics.Counter
+	// Evictions counts local-information units evicted by the cache budget
+	// policy (sites with CacheBudgetBytes set only).
+	Evictions metrics.Counter
 	// BatchSize is the per-batch-message entry-count distribution.
 	BatchSize *metrics.SizeHistogram
 	Breakdown *metrics.Breakdown
@@ -147,7 +156,12 @@ func (s *Site) Register(r *metrics.Registry) {
 	r.RegisterCounter("irisnet_subquery_rpcs_total", "Network sends on the subquery path (single messages and batches).", l, &m.SubqueryRPCs)
 	r.RegisterCounter("irisnet_batches_total", "Batched subquery messages sent.", l, &m.Batches)
 	r.RegisterCounter("irisnet_coalesced_subqueries_total", "Subqueries answered by joining an in-flight fetch.", l, &m.Coalesced)
+	r.RegisterCounter("irisnet_cache_evictions_total", "Cached local-information units evicted by the budget policy.", l, &m.Evictions)
 	r.RegisterSizeHistogram("irisnet_subquery_batch_size", "Entries per batched subquery message.", l, m.BatchSize)
+	r.GaugeFunc("irisnet_cache_bytes", "Accounted bytes of cached (non-owned) local-information units.", l,
+		func() float64 { return float64(s.CacheBytes()) })
+	r.GaugeFunc("irisnet_cache_budget_bytes", "Configured cache byte budget (0 = unbounded).", l,
+		func() float64 { return float64(s.cfg.CacheBudgetBytes) })
 	r.GaugeFunc("irisnet_store_nodes", "Element nodes in the site database.", l,
 		func() float64 { return float64(s.StoreSize()) })
 	r.GaugeFunc("irisnet_cached_fragments", "Complete (cached, non-owned) IDable nodes in the store.", l,
@@ -185,6 +199,12 @@ type Site struct {
 	call     *transport.Caller
 	flights  *flightGroup
 
+	// cache is the budget/eviction policy state; nil unless the site
+	// caches with CacheBudgetBytes set (cache.go).
+	cache        *cacheManager
+	stopPressure chan struct{}
+	stopOnce     sync.Once
+
 	// wmu serializes writers; readers never take it.
 	wmu   sync.Mutex
 	state atomic.Pointer[siteState]
@@ -209,11 +229,15 @@ func New(cfg Config, rootName, rootID string) *Site {
 		cfg.BatchByteCap = DefaultBatchByteCap
 	}
 	s := &Site{
-		cfg:      cfg,
-		log:      cfg.Logger,
-		cpu:      transport.NewCPU(cfg.CPUSlots),
-		compiler: qeg.NewCompiler(cfg.Schema, cfg.NaivePlans),
-		flights:  newFlightGroup(),
+		cfg:          cfg,
+		log:          cfg.Logger,
+		cpu:          transport.NewCPU(cfg.CPUSlots),
+		compiler:     qeg.NewCompiler(cfg.Schema, cfg.NaivePlans),
+		flights:      newFlightGroup(),
+		stopPressure: make(chan struct{}),
+	}
+	if cfg.Caching && cfg.CacheBudgetBytes > 0 {
+		s.cache = newCacheManager()
 	}
 	s.state.Store(&siteState{
 		store:    fragment.NewStore(rootName, rootID).Seal(),
@@ -249,13 +273,23 @@ func (s *Site) Load(store *fragment.Store, owned []xmldb.IDPath) {
 // publishLocked swaps in the next version. Callers hold wmu.
 func (s *Site) publishLocked(st *siteState) { s.state.Store(st) }
 
-// Start registers the site on the network.
+// Start registers the site on the network and, on budgeted caching sites,
+// starts the background cache-pressure loop.
 func (s *Site) Start() error {
-	return s.cfg.Net.Register(s.cfg.Name, s.Handle)
+	if err := s.cfg.Net.Register(s.cfg.Name, s.Handle); err != nil {
+		return err
+	}
+	if s.cache != nil {
+		go s.pressureLoop()
+	}
+	return nil
 }
 
-// Stop unregisters the site.
-func (s *Site) Stop() { s.cfg.Net.Unregister(s.cfg.Name) }
+// Stop unregisters the site and stops the pressure loop.
+func (s *Site) Stop() {
+	s.stopOnce.Do(func() { close(s.stopPressure) })
+	s.cfg.Net.Unregister(s.cfg.Name)
+}
 
 // Name returns the site's transport name.
 func (s *Site) Name() string { return s.cfg.Name }
@@ -573,6 +607,11 @@ func (s *Site) handleQuery(ctx context.Context, msg *Message, reqBytes int, pinn
 	} else {
 		s.Metrics.CacheMisses.Inc()
 	}
+	if s.cache != nil {
+		// Refresh the recency of every cached unit this answer used, so the
+		// budget policy evicts the units queries are not asking for.
+		s.cache.touchAnswer(ans.Root, s.cfg.Clock())
+	}
 	s.Metrics.Breakdown.Add("execute-qeg", execTime)
 	s.Metrics.Breakdown.Add("communication", commTime)
 
@@ -616,6 +655,9 @@ func (s *Site) handleQuery(ctx context.Context, msg *Message, reqBytes int, pinn
 // copy-on-write write path: take the writer mutex, build the next version
 // from the latest published one, publish. Queries in flight keep reading
 // the version they pinned; the next snapshot load sees the cached data.
+// On budgeted sites the merge and any evictions it forces commit as one
+// transaction, so no published version exceeds the budget by more than the
+// units in-flight fetches are actively installing (cache.go).
 func (s *Site) mergeCache(frag *xmldb.Node) error {
 	if s.cfg.CoarseLocking {
 		s.coarse.Lock()
@@ -627,6 +669,10 @@ func (s *Site) mergeCache(frag *xmldb.Node) error {
 	w := st.store.Begin()
 	if err := w.MergeFragment(frag); err != nil {
 		return err
+	}
+	if s.cache != nil {
+		s.cache.noteFetched(frag, s.cfg.Clock())
+		s.evictToBudgetLocked(w)
 	}
 	s.publishLocked(&siteState{store: w.Commit(), owned: st.owned, migrated: st.migrated})
 	return nil

@@ -31,6 +31,7 @@ type TCPNet struct {
 	addrs     map[string]string
 	listeners map[string]net.Listener
 	pools     map[string]*connPool
+	closed    bool
 }
 
 // DefaultMaxIdlePerPeer is the idle-connection cap per destination site.
@@ -134,6 +135,61 @@ func (t *TCPNet) Unregister(site string) {
 	}
 }
 
+// RemovePeer drops a peer from the address book and drains its connection
+// pool, closing every idle connection. Use it when a site leaves the
+// deployment; in-flight calls to the peer finish on their own connections,
+// which are closed instead of re-pooled when they complete.
+func (t *TCPNet) RemovePeer(site string) {
+	t.mu.Lock()
+	pool := t.pools[site]
+	delete(t.pools, site)
+	delete(t.addrs, site)
+	t.mu.Unlock()
+	if pool != nil {
+		pool.drain()
+	}
+}
+
+// Close shuts the transport down: every listener stops accepting and every
+// pooled idle connection to every peer is closed, so a stopped process
+// leaks no sockets. Calls after Close fail; connections checked out by
+// in-flight calls are closed on return instead of re-pooled.
+func (t *TCPNet) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	listeners := t.listeners
+	pools := t.pools
+	t.listeners = map[string]net.Listener{}
+	t.pools = map[string]*connPool{}
+	t.mu.Unlock()
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	for _, p := range pools {
+		p.drain()
+	}
+}
+
+// IdleConns reports the total idle pooled connections across peers (tests
+// and the admin debug view).
+func (t *TCPNet) IdleConns() int {
+	t.mu.RLock()
+	pools := make([]*connPool, 0, len(t.pools))
+	for _, p := range t.pools {
+		pools = append(pools, p)
+	}
+	t.mu.RUnlock()
+	n := 0
+	for _, p := range pools {
+		n += p.idle()
+	}
+	return n
+}
+
 // Call implements Network.
 func (t *TCPNet) Call(site string, payload []byte) ([]byte, error) {
 	return t.CallContext(context.Background(), site, payload)
@@ -146,12 +202,20 @@ func (t *TCPNet) CallContext(ctx context.Context, site string, payload []byte) (
 	t.mu.RLock()
 	addr, ok := t.addrs[site]
 	pool := t.pools[site]
+	closed := t.closed
 	t.mu.RUnlock()
+	if closed {
+		return nil, fmt.Errorf("transport: closed")
+	}
 	if !ok {
 		return nil, fmt.Errorf("transport: unknown site %q", site)
 	}
 	if pool == nil {
 		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			return nil, fmt.Errorf("transport: closed")
+		}
 		pool = t.pools[site]
 		if pool == nil {
 			maxIdle := t.MaxIdlePerPeer
@@ -210,6 +274,7 @@ type connPool struct {
 	maxIdle int
 	mu      sync.Mutex
 	free    []*clientConn
+	closed  bool // drained: returned connections are closed, not pooled
 }
 
 type clientConn struct {
@@ -238,11 +303,25 @@ func (p *connPool) get(ctx context.Context) (*clientConn, error) {
 func (p *connPool) put(c *clientConn) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if len(p.free) < p.maxIdle {
+	if !p.closed && len(p.free) < p.maxIdle {
 		p.free = append(p.free, c)
 		return
 	}
 	c.close()
+}
+
+// drain closes every idle connection and marks the pool closed, so
+// connections still checked out by in-flight calls are closed on put
+// instead of re-pooled.
+func (p *connPool) drain() {
+	p.mu.Lock()
+	free := p.free
+	p.free = nil
+	p.closed = true
+	p.mu.Unlock()
+	for _, c := range free {
+		c.close()
+	}
 }
 
 // idle returns the current free-list size (tests).

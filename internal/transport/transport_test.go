@@ -295,6 +295,96 @@ func TestTCPNetExpiredContextNotPooled(t *testing.T) {
 	}
 }
 
+func TestTCPNetCloseDrainsConnections(t *testing.T) {
+	release := make(chan struct{})
+	srv := NewTCPNet(map[string]string{"srv": "127.0.0.1:0"})
+	if err := srv.Register("srv", func(_ context.Context, p []byte) ([]byte, error) {
+		if string(p) == "slow" {
+			<-release
+		}
+		return p, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Unregister("srv")
+	addr, _ := srv.Addr("srv")
+	client := NewTCPNet(map[string]string{"srv": addr})
+
+	// Build up idle connections with a burst of concurrent calls.
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := client.Call("srv", []byte(fmt.Sprintf("m%d", i))); err != nil {
+				t.Errorf("call %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if client.IdleConns() == 0 {
+		t.Fatal("expected pooled idle connections before Close")
+	}
+
+	// One call still in flight while the transport closes: its connection
+	// must be closed on return, not re-pooled.
+	inflight := make(chan error, 1)
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		_, err := client.Call("srv", []byte("slow"))
+		inflight <- err
+	}()
+	<-started
+	time.Sleep(20 * time.Millisecond) // let the slow call check out its conn
+
+	client.Close()
+	if n := client.IdleConns(); n != 0 {
+		t.Fatalf("%d idle conns after Close, want 0", n)
+	}
+	if _, err := client.Call("srv", []byte("late")); err == nil {
+		t.Fatal("calls after Close should fail")
+	}
+
+	close(release)
+	if err := <-inflight; err != nil {
+		t.Fatalf("in-flight call during Close: %v", err)
+	}
+	if n := client.IdleConns(); n != 0 {
+		t.Fatalf("%d idle conns after in-flight call returned, want 0 (conn should be closed, not pooled)", n)
+	}
+
+	// Close is idempotent and also stops listeners on the serving side.
+	client.Close()
+	srv.Close()
+	if _, err := NewTCPNet(map[string]string{"srv": addr}).Call("srv", []byte("x")); err == nil {
+		t.Fatal("server listener should be closed after Close")
+	}
+}
+
+func TestTCPNetRemovePeerDrainsPool(t *testing.T) {
+	srv := NewTCPNet(map[string]string{"srv": "127.0.0.1:0"})
+	if err := srv.Register("srv", func(_ context.Context, p []byte) ([]byte, error) { return p, nil }); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Unregister("srv")
+	addr, _ := srv.Addr("srv")
+	client := NewTCPNet(map[string]string{"srv": addr})
+	if _, err := client.Call("srv", []byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+	if client.IdleConns() == 0 {
+		t.Fatal("expected a pooled connection before RemovePeer")
+	}
+	client.RemovePeer("srv")
+	if n := client.IdleConns(); n != 0 {
+		t.Fatalf("%d idle conns after RemovePeer, want 0", n)
+	}
+	if _, err := client.Call("srv", nil); err == nil {
+		t.Fatal("removed peer should be unknown")
+	}
+}
+
 func TestFrameCodec(t *testing.T) {
 	var buf bytes.Buffer
 	payload := []byte("some payload with \x00 binary")

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Smoke-tests bounded query-driven caching: runs the cache-pressure
+# experiment in -short mode (sub-second arms) and fails unless the machine
+# report says both acceptance checks held — cache bytes never exceeded the
+# budget by more than one local-information unit, and the hit rate degraded
+# gracefully as the budget shrank. Needs only a POSIX shell.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+go run ./cmd/irisbench -exp cache-pressure -short
+
+if ! grep -q '"pass": true' BENCH_PR5.json; then
+    echo "cache-smoke: cache-pressure acceptance failed" >&2
+    cat BENCH_PR5.json >&2
+    exit 1
+fi
+
+echo "cache-smoke: ok (bounded + graceful degradation held)"
