@@ -1,0 +1,162 @@
+// Command benchgate compares two `go test -bench` outputs and fails when
+// any benchmark's median ns/op regressed past a threshold. It is the
+// machine-checked verdict behind the CI perf gate: benchstat (when
+// installed) renders the human-readable comparison, benchgate decides
+// pass/fail with no dependencies outside the standard library, so the
+// gate also runs in offline checkouts via `make perf-gate`.
+//
+// Usage:
+//
+//	benchgate -old base.txt -new head.txt -threshold 15 \
+//	          -require BenchmarkSnapshotQuery,BenchmarkSerialize
+//
+// Benchmarks present in only one file are reported but do not gate;
+// -require names benchmark prefixes that must have samples in both files
+// (a rename silently dropping a gated benchmark fails loudly).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var (
+	oldFlag       = flag.String("old", "", "baseline `go test -bench` output")
+	newFlag       = flag.String("new", "", "candidate `go test -bench` output")
+	thresholdFlag = flag.Float64("threshold", 15, "max allowed median ns/op regression, percent")
+	requireFlag   = flag.String("require", "", "comma-separated benchmark name prefixes that must appear in both files")
+)
+
+func main() {
+	flag.Parse()
+	if *oldFlag == "" || *newFlag == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -old and -new are required")
+		os.Exit(2)
+	}
+	oldNs, err := parseBench(*oldFlag)
+	fatal(err)
+	newNs, err := parseBench(*newFlag)
+	fatal(err)
+
+	names := make([]string, 0, len(oldNs))
+	for name := range oldNs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-52s %14s %14s %9s\n", "benchmark", "old-ns/op", "new-ns/op", "delta")
+	failed := false
+	for _, name := range names {
+		old := median(oldNs[name])
+		cur, ok := newNs[name]
+		if !ok {
+			fmt.Printf("%-52s %14.0f %14s %9s\n", name, old, "-", "gone")
+			continue
+		}
+		nw := median(cur)
+		delta := 100 * (nw - old) / old
+		verdict := ""
+		if delta > *thresholdFlag {
+			verdict = "  REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-52s %14.0f %14.0f %+8.1f%%%s\n", name, old, nw, delta, verdict)
+	}
+	for name := range newNs {
+		if _, ok := oldNs[name]; !ok {
+			fmt.Printf("%-52s %14s %14.0f %9s\n", name, "-", median(newNs[name]), "new")
+		}
+	}
+
+	if *requireFlag != "" {
+		for _, prefix := range strings.Split(*requireFlag, ",") {
+			prefix = strings.TrimSpace(prefix)
+			if prefix == "" {
+				continue
+			}
+			if !hasPrefix(oldNs, prefix) || !hasPrefix(newNs, prefix) {
+				fmt.Fprintf(os.Stderr, "benchgate: required benchmark %q missing from a side\n", prefix)
+				failed = true
+			}
+		}
+	}
+
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL (threshold %.0f%% on median ns/op)\n", *thresholdFlag)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: ok (no median ns/op regression above %.0f%%)\n", *thresholdFlag)
+}
+
+func hasPrefix(m map[string][]float64, prefix string) bool {
+	for name := range m {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// parseBench extracts ns/op samples per benchmark from `go test -bench`
+// output. The trailing -N GOMAXPROCS suffix is folded away so `-count`
+// repetitions aggregate under one name.
+func parseBench(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string][]float64{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			if fields[i+1] != "ns/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			name := fields[0]
+			if j := strings.LastIndex(name, "-"); j > 0 {
+				if _, err := strconv.Atoi(name[j+1:]); err == nil {
+					name = name[:j]
+				}
+			}
+			out[name] = append(out[name], v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results found", path)
+	}
+	return out, nil
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}

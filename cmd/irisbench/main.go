@@ -9,7 +9,8 @@
 //	irisbench -exp fig7 -dur 5s   # one experiment, longer measurement
 //
 // Experiments: updates, fig7, fig8, fig9, fig10, fig11, latency, faults,
-// trace-overhead, read-write-mix, batching, cache-pressure, all.
+// trace-overhead, read-write-mix, batching, cache-pressure, local-eval,
+// all.
 package main
 
 import (
@@ -28,7 +29,7 @@ import (
 )
 
 var (
-	expFlag   = flag.String("exp", "all", "experiment: updates|fig7|fig8|fig9|fig10|fig11|latency|faults|trace-overhead|read-write-mix|batching|cache-pressure|all")
+	expFlag   = flag.String("exp", "all", "experiment: updates|fig7|fig8|fig9|fig10|fig11|latency|faults|trace-overhead|read-write-mix|batching|cache-pressure|local-eval|all")
 	durFlag   = flag.Duration("dur", 3*time.Second, "measurement duration per cell")
 	clients   = flag.Int("clients", 24, "closed-loop query clients")
 	largeFlag = flag.Bool("large", false, "use the x8 database where applicable")
@@ -52,8 +53,9 @@ func main() {
 		"read-write-mix": runReadWriteMix,
 		"batching":       runBatching,
 		"cache-pressure": runCachePressure,
+		"local-eval":     runLocalEval,
 	}
-	order := []string{"updates", "fig7", "fig8", "fig9", "fig10", "fig11", "latency", "faults", "trace-overhead", "read-write-mix", "batching", "cache-pressure"}
+	order := []string{"updates", "fig7", "fig8", "fig9", "fig10", "fig11", "latency", "faults", "trace-overhead", "read-write-mix", "batching", "cache-pressure", "local-eval"}
 	if *expFlag == "all" {
 		for _, name := range order {
 			exps[name]()

@@ -1,0 +1,241 @@
+package fragment
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"irisnet/internal/xmldb"
+)
+
+// Cache-conscious per-snapshot index (DESIGN.md §12).
+//
+// A sealed store never changes, so its tree can be flattened once into a
+// handful of dense arrays laid out for sequential access: a preorder
+// numbering of every element node, an exclusive subtree-end offset per
+// node (the pre/post interval encoding), a parent offset, an interned tag
+// id, and per-tag sorted position lists. With that layout the common XPath
+// steps the QEG walker spends its time on become array operations:
+//
+//	child::t of p      = binary search of byTag[t] inside (p, end[p])
+//	                     filtered by parent[q] == p
+//	descendant::t of p = one contiguous byTag[t] range inside (p, end[p])
+//	subtree of p       = the half-open position interval [p, end[p])
+//
+// Two bitsets carry the fragment-status facts the query engine needs to
+// decide whether the index alone can answer a step without consulting
+// remote owners: idable marks nodes in IDable form (the document root or
+// any node with an id attribute), and localSub marks nodes whose entire
+// subtree is locally evaluable (every IDable-form node at or below it has
+// full local information). The index holds no status beyond those bits;
+// correctness of sharing it across versions is the COW layer's concern
+// (see COW.Commit).
+
+// Index is the flattened form of one sealed store version. It is built at
+// most once per version, shared lock-free by every reader of that version,
+// and never mutated after construction.
+type Index struct {
+	// ref maps preorder position -> node of this version.
+	ref []*xmldb.Node
+	// end[p] is the position one past p's subtree: descendants of p are
+	// exactly the positions in (p, end[p]).
+	end []int32
+	// parent[p] is the position of p's parent, -1 for the root.
+	parent []int32
+	// tagOf[p] is the interned tag id of ref[p]'s element name.
+	tagOf []int32
+	// tags interns element names; byTag[t] lists the positions with tag t
+	// in ascending (preorder/document) order.
+	tags  map[string]int32
+	byTag [][]int32
+	// idable bit p: ref[p] is in IDable form (root or has an id).
+	idable []uint64
+	// skel bit p: ref[p] is on the IDable skeleton — IDable itself with
+	// every ancestor IDable. The query walk descends only the skeleton
+	// (non-IDable subtrees travel inside their parent's local information),
+	// so skeleton membership is what makes a node a step candidate.
+	skel []uint64
+	// localSub bit p: every IDable-form node in p's subtree, p included,
+	// has full local information (status owned or complete) — the subtree
+	// is answerable without any subquery.
+	localSub []uint64
+}
+
+// Len returns the number of element nodes indexed.
+func (ix *Index) Len() int32 { return int32(len(ix.ref)) }
+
+// Node returns the node at preorder position pos.
+func (ix *Index) Node(pos int32) *xmldb.Node { return ix.ref[pos] }
+
+// End returns the exclusive end of pos's subtree interval.
+func (ix *Index) End(pos int32) int32 { return ix.end[pos] }
+
+// Parent returns the position of pos's parent, -1 for the root.
+func (ix *Index) Parent(pos int32) int32 { return ix.parent[pos] }
+
+// Tag returns the interned id for an element name.
+func (ix *Index) Tag(name string) (int32, bool) {
+	t, ok := ix.tags[name]
+	return t, ok
+}
+
+// TagOf returns the interned tag id of the node at pos.
+func (ix *Index) TagOf(pos int32) int32 { return ix.tagOf[pos] }
+
+// Positions returns every position bearing tag t, ascending.
+func (ix *Index) Positions(t int32) []int32 { return ix.byTag[t] }
+
+// Range returns the positions bearing tag t inside [lo, hi), ascending —
+// the descendant::t candidates of the node whose interval is [lo, hi).
+// The result aliases the index and must not be modified.
+func (ix *Index) Range(t int32, lo, hi int32) []int32 {
+	ps := ix.byTag[t]
+	i := sort.Search(len(ps), func(k int) bool { return ps[k] >= lo })
+	j := sort.Search(len(ps), func(k int) bool { return ps[k] >= hi })
+	return ps[i:j]
+}
+
+// IDable reports whether the node at pos is in IDable form.
+func (ix *Index) IDable(pos int32) bool {
+	return ix.idable[pos>>6]&(1<<uint(pos&63)) != 0
+}
+
+// Skel reports whether the node at pos is on the IDable skeleton (IDable
+// with all ancestors IDable).
+func (ix *Index) Skel(pos int32) bool {
+	return ix.skel[pos>>6]&(1<<uint(pos&63)) != 0
+}
+
+// SubtreeLocal reports whether pos's entire subtree carries full local
+// information (no subquery could arise below it).
+func (ix *Index) SubtreeLocal(pos int32) bool {
+	return ix.localSub[pos>>6]&(1<<uint(pos&63)) != 0
+}
+
+// PosOf returns the preorder position of n via linear search of its
+// parent's child interval; it exists for tests and debugging, not the hot
+// path.
+func (ix *Index) PosOf(n *xmldb.Node) (int32, bool) {
+	for p, r := range ix.ref {
+		if r == n {
+			return int32(p), true
+		}
+	}
+	return 0, false
+}
+
+func setBit(bits []uint64, pos int32) {
+	bits[pos>>6] |= 1 << uint(pos&63)
+}
+
+// buildIndex flattens the tree under root. It runs on sealed (immutable)
+// trees only, so it takes no locks.
+func buildIndex(root *xmldb.Node) *Index {
+	n := root.CountNodes()
+	ix := &Index{
+		ref:      make([]*xmldb.Node, 0, n),
+		end:      make([]int32, 0, n),
+		parent:   make([]int32, 0, n),
+		tagOf:    make([]int32, 0, n),
+		tags:     make(map[string]int32),
+		idable:   make([]uint64, (n+63)/64),
+		skel:     make([]uint64, (n+63)/64),
+		localSub: make([]uint64, (n+63)/64),
+	}
+	var walk func(nd *xmldb.Node, par int32, parSkel bool) (pos int32, allLocal bool)
+	walk = func(nd *xmldb.Node, par int32, parSkel bool) (int32, bool) {
+		pos := int32(len(ix.ref))
+		t, ok := ix.tags[nd.Name]
+		if !ok {
+			t = int32(len(ix.byTag))
+			ix.tags[nd.Name] = t
+			ix.byTag = append(ix.byTag, nil)
+		}
+		ix.ref = append(ix.ref, nd)
+		ix.end = append(ix.end, 0) // patched below
+		ix.parent = append(ix.parent, par)
+		ix.tagOf = append(ix.tagOf, t)
+		ix.byTag[t] = append(ix.byTag[t], pos)
+		idableForm := pos == 0 || nd.ID() != ""
+		onSkel := idableForm && parSkel
+		allLocal := true
+		if idableForm {
+			setBit(ix.idable, pos)
+			allLocal = StatusOf(nd).HasLocalInfo()
+		}
+		if onSkel {
+			setBit(ix.skel, pos)
+		}
+		for _, c := range nd.Children {
+			_, childLocal := walk(c, pos, onSkel)
+			allLocal = allLocal && childLocal
+		}
+		ix.end[pos] = int32(len(ix.ref))
+		if allLocal {
+			setBit(ix.localSub, pos)
+		}
+		return pos, allLocal
+	}
+	walk(root, -1, true)
+	return ix
+}
+
+// derive rebinds ix to a structurally identical tree rooted at newRoot:
+// same shape, same element names, same statuses, only node identities (and
+// text/plain attributes) differ. Every array except ref is shared with the
+// base version; ref is refilled by one preorder walk. Returns nil when the
+// trees turn out not to be congruent (the caller then falls back to a full
+// rebuild).
+func (ix *Index) derive(newRoot *xmldb.Node) *Index {
+	ref := make([]*xmldb.Node, len(ix.ref))
+	i := 0
+	var fill func(nd *xmldb.Node) bool
+	fill = func(nd *xmldb.Node) bool {
+		if i >= len(ref) {
+			return false
+		}
+		ref[i] = nd
+		i++
+		for _, c := range nd.Children {
+			if !fill(c) {
+				return false
+			}
+		}
+		return true
+	}
+	if !fill(newRoot) || i != len(ref) {
+		return nil
+	}
+	out := *ix
+	out.ref = ref
+	return &out
+}
+
+// indexState is the lazily-built index slot a sealed store carries. It
+// lives in its own struct so Store literals (tests build them) and Clone
+// need no special handling.
+type indexState struct {
+	idx atomic.Pointer[Index]
+	mu  sync.Mutex
+}
+
+// Index returns the store's flattened index, building it on first use.
+// Only sealed stores are indexed — an unsealed store may still mutate, so
+// Index returns nil and callers fall back to tree walks. Concurrent first
+// callers race benignly: one builds, the rest wait on the mutex and reuse.
+func (s *Store) Index() *Index {
+	if !s.sealed {
+		return nil
+	}
+	if ix := s.idxs.idx.Load(); ix != nil {
+		return ix
+	}
+	s.idxs.mu.Lock()
+	defer s.idxs.mu.Unlock()
+	if ix := s.idxs.idx.Load(); ix != nil {
+		return ix
+	}
+	ix := buildIndex(s.Root)
+	s.idxs.idx.Store(ix)
+	return ix
+}

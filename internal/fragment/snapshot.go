@@ -40,6 +40,15 @@ type COW struct {
 	// from out.Root is shared with previous versions and must not be
 	// written.
 	fresh map[*xmldb.Node]bool
+	// base is the version the transaction started from; used by Commit to
+	// carry the base's cache-conscious index forward cheaply.
+	base *Store
+	// dirty records whether the transaction changed anything the index
+	// derives from besides node identity: tree shape (nodes added, removed
+	// or reordered), element names, or status attributes. Text and plain
+	// attribute edits — the sensor-update hot path — leave it false, and
+	// Commit then rebinds the base index instead of discarding it.
+	dirty bool
 }
 
 // Begin starts a copy-on-write transaction on the store. The store itself
@@ -55,13 +64,29 @@ func (s *Store) Begin() *COW {
 	if b := s.cbytes.Load(); b > 0 {
 		out.cbytes.Store(b)
 	}
-	return &COW{out: out, fresh: map[*xmldb.Node]bool{root: true}}
+	return &COW{out: out, fresh: map[*xmldb.Node]bool{root: true}, base: s}
 }
 
 // Commit seals and returns the new version. The transaction must not be
 // used afterwards.
+//
+// When the transaction was structure- and status-preserving (dirty is
+// false) and the base version had already built its index, the new version
+// inherits that index with only the position->node array refilled — one
+// pointer walk instead of a full rebuild, so a stream of sensor updates
+// keeps snapshots indexed at near-zero incremental cost. Structural
+// transactions leave the new version unindexed; its index is rebuilt
+// lazily on the next indexed query.
 func (w *COW) Commit() *Store {
-	return w.out.Seal()
+	out := w.out.Seal()
+	if !w.dirty && w.base != nil && w.base.sealed {
+		if bi := w.base.idxs.idx.Load(); bi != nil {
+			if di := bi.derive(out.Root); di != nil {
+				out.idxs.idx.Store(di)
+			}
+		}
+	}
+	return out
 }
 
 // cowCopy makes a writable copy of n that shares n's children. The copy's
@@ -97,9 +122,11 @@ func (w *COW) freshChild(parent, child *xmldb.Node) *xmldb.Node {
 }
 
 // adopt marks a node created by this transaction (not copied from the base
-// version) as fresh and returns it.
+// version) as fresh and returns it. A brand-new node always changes the
+// tree shape, so the transaction is structurally dirty from here on.
 func (w *COW) adopt(n *xmldb.Node) *xmldb.Node {
 	w.fresh[n] = true
+	w.dirty = true
 	return n
 }
 
@@ -186,6 +213,7 @@ func (w *COW) RemoveChild(parent, child *xmldb.Node) bool {
 	}
 	for i, ch := range parent.Children {
 		if ch == child {
+			w.dirty = true
 			parent.Children = append(parent.Children[:i], parent.Children[i+1:]...)
 			if w.out.countKnown() {
 				w.out.addNodes(-child.CountNodes())
@@ -245,12 +273,15 @@ func (w *COW) SetStatusAt(p xmldb.IDPath, st Status) error {
 	if err != nil {
 		return err
 	}
-	if old := StatusOf(n); old != st && w.out.cachedBytesKnown() {
-		if old == StatusComplete {
-			w.out.addCachedBytes(-LocalInfoBytes(n))
-		}
-		if st == StatusComplete {
-			w.out.addCachedBytes(LocalInfoBytes(n))
+	if old := StatusOf(n); old != st {
+		w.dirty = true // status feeds the index's localSub bits
+		if w.out.cachedBytesKnown() {
+			if old == StatusComplete {
+				w.out.addCachedBytes(-LocalInfoBytes(n))
+			}
+			if st == StatusComplete {
+				w.out.addCachedBytes(LocalInfoBytes(n))
+			}
 		}
 	}
 	SetStatus(n, st)
@@ -309,6 +340,7 @@ func (w *COW) mergeNode(dst, src *xmldb.Node) {
 		w.unionChildStubs(dst, src)
 		if !dstStatus.HasLocalIDInfo() {
 			SetStatus(dst, StatusIDComplete)
+			w.dirty = true
 		}
 	default:
 		// Incomplete: nothing beyond the node's existence.
@@ -334,6 +366,9 @@ func (w *COW) mergeNode(dst, src *xmldb.Node) {
 // — their Parent pointers stay in the version they were created in, which
 // is safe because old versions are immutable (see the package comment).
 func (w *COW) applyLocalInfo(n *xmldb.Node, info *xmldb.Node, st Status) {
+	// Rebuilds n's attribute and child lists wholesale (and may change its
+	// status), so the shape the index recorded no longer holds.
+	w.dirty = true
 	track := w.out.countKnown()
 	btrack := w.out.cachedBytesKnown()
 	if btrack && StatusOf(n) == StatusComplete {
@@ -427,6 +462,7 @@ func (w *COW) EvictLocalInfo(p xmldb.IDPath) error {
 	if err != nil {
 		return err
 	}
+	w.dirty = true
 	track := w.out.countKnown()
 	if w.out.cachedBytesKnown() {
 		w.out.addCachedBytes(-LocalInfoBytes(n))
@@ -476,6 +512,7 @@ func (w *COW) EvictSubtree(p xmldb.IDPath) error {
 	if err != nil {
 		return err
 	}
+	w.dirty = true
 	if w.out.countKnown() {
 		w.out.addNodes(-(n.CountNodes() - 1))
 	}

@@ -41,6 +41,10 @@ type Store struct {
 	// sealed marks the store immutable. Mutating methods panic when set;
 	// it exists to catch writers that bypass the copy-on-write path.
 	sealed bool
+
+	// idxs holds the lazily-built cache-conscious index of this version
+	// (index.go). Only meaningful once sealed.
+	idxs indexState
 }
 
 // NewStore creates an empty store whose document root has the given element

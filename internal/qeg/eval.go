@@ -20,7 +20,15 @@ type Options struct {
 	// bypass Section 5.5 calls for under heavy load imbalance, and the
 	// "caching with no hits" condition of Figure 10.
 	IgnoreCached bool
+	// NoIndex disables the cache-conscious indexed fast path (indexed.go)
+	// and forces the tree walker, for measurement and as an escape hatch.
+	NoIndex bool
 }
+
+// debugShadow, when enabled by tests, runs the walker after every indexed
+// evaluation and panics unless the two answers are byte-identical — the
+// executable form of the fast path's correctness contract.
+var debugShadow = false
 
 // Result is the outcome of evaluating a plan against a site fragment: the
 // part of the (generalized) answer present locally, as a C1/C2 fragment
@@ -38,6 +46,31 @@ type Result struct {
 // the store. The returned fragment is rooted at the document root and
 // mergeable into any other store (conditions C1/C2 hold by construction).
 func Evaluate(store *fragment.Store, plan *Plan, opts Options) (*Result, error) {
+	// Indexed fast path: sealed snapshots with an index answer indexable
+	// plans by array intersection and range scans. Any condition the index
+	// cannot prove locally (ok=false) falls through to the walker, which is
+	// always correct. Cache bypass changes effective statuses, which the
+	// index does not model, so it also disables the fast path.
+	if plan.Indexable && !opts.NoIndex && !opts.IgnoreCached {
+		if ix := store.Index(); ix != nil {
+			res, ok, err := evaluateIndexed(store, ix, plan, opts.Now)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				if debugShadow {
+					o2 := opts
+					o2.NoIndex = true
+					wres, werr := Evaluate(store, plan, o2)
+					if werr != nil || wres.Fragment.String() != res.Fragment.String() || len(wres.Subqueries) != 0 || wres.Nodes != res.Nodes {
+						panic(fmt.Sprintf("indexed mismatch for %s:\nindexed: %s\nwalker:  %s\nsubs: %v err: %v",
+							plan.Source, res.Fragment.String(), wres.Fragment.String(), wres.Subqueries, werr))
+					}
+				}
+				return res, nil
+			}
+		}
+	}
 	w := &walker{
 		store: store,
 		plan:  plan,

@@ -16,6 +16,7 @@ import (
 
 	"irisnet/internal/xmldb"
 	"irisnet/internal/xpath"
+	"irisnet/internal/xpatheval"
 )
 
 // Plan is a compiled QEG program for one location path.
@@ -39,6 +40,49 @@ type Plan struct {
 	// introspection; the walker derives the same information dynamically
 	// from step positions.
 	LIR map[string]bool
+	// Indexable marks plans the cache-conscious fragment index can answer
+	// without tree walking (indexed.go): depth-0 plans whose main path is
+	// built from plain child/descendant name steps with no consistency
+	// predicates. Computed once at compile time, so cached plans carry
+	// their indexed access path for free.
+	Indexable bool
+	// idxSteps is the per-step compiled form the indexed evaluator runs;
+	// nil unless Indexable.
+	idxSteps []idxStep
+}
+
+// idxStep is one collapsed location step of an indexable plan. A '//'
+// marker step and its following child::name step compile into a single
+// dos step, since descendant-or-self::node()/child::name selects exactly
+// the descendants bearing the name.
+type idxStep struct {
+	// dos selects descendants of the context set; otherwise children.
+	dos bool
+	// self additionally admits the context node itself (an explicit
+	// predicate-free descendant-or-self::name step).
+	self bool
+	// name is the element name the step tests.
+	name string
+	// ids is the step's finite IDConstraint, used to prune candidates
+	// before predicate evaluation; nil when unconstrained.
+	ids []string
+	// idPreds are the Pid conjuncts: a candidate failing them is pruned
+	// silently, exactly like the walker's id rejection.
+	idPreds []idxPred
+	// dataPreds are the Prest and opaque conjuncts, in the walker's
+	// evaluation order; a candidate failing them is rejected but its local
+	// information still joins the generalized answer.
+	dataPreds []idxPred
+	// pure marks a child step whose only predicate pins exactly one id —
+	// the indexed evaluator navigates these as direct spine hops, which
+	// keeps the fast path available on sites that hold only an id-complete
+	// spine above their owned subtree.
+	pure bool
+}
+
+type idxPred struct {
+	fast *xpatheval.FastPred
+	expr xpath.Expr
 }
 
 // PlanStep is one location step with its predicates split per the paper's
@@ -103,7 +147,82 @@ func compileParsed(query string, path *xpath.Path, schema *xpath.Schema) (*Plan,
 		}
 	}
 	p.LIR = xpath.LocalInfoRequired(path, schema)
+	p.compileIndex()
 	return p, nil
+}
+
+// compileIndex decides whether the cache-conscious fragment index can run
+// this plan and, if so, compiles the collapsed step list. Anything the
+// indexed evaluator cannot reproduce exactly — nested predicates,
+// attribute/text/self/wildcard steps, consistency predicates — leaves the
+// plan on the walker.
+func (p *Plan) compileIndex() {
+	if p.NestedIdx >= 0 || len(p.Steps) == 0 {
+		return
+	}
+	steps := make([]idxStep, 0, len(p.Steps))
+	for k := 0; k < len(p.Steps); k++ {
+		ps := p.Steps[k]
+		if len(ps.ConsPreds) > 0 {
+			return
+		}
+		s := ps.Step
+		var st idxStep
+		switch {
+		case ps.DOS && s.Axis == xpath.AxisDescendantOrSelf && s.Test.AnyNode && len(s.Preds) == 0:
+			// '//' marker: collapse with the following child::name step.
+			if k+1 >= len(p.Steps) {
+				return
+			}
+			nx := p.Steps[k+1]
+			if nx.DOS || nx.Step.Axis != xpath.AxisChild || !plainName(nx.Step.Test) || len(nx.ConsPreds) > 0 {
+				return
+			}
+			st = idxStep{dos: true, name: nx.Step.Test.Name, ids: nx.IDConstraint}
+			st.idPreds, st.dataPreds = compileIdxPreds(nx)
+			k++
+		case s.Axis == xpath.AxisDescendant && plainName(s.Test):
+			st = idxStep{dos: true, name: s.Test.Name, ids: ps.IDConstraint}
+			st.idPreds, st.dataPreds = compileIdxPreds(ps)
+		case s.Axis == xpath.AxisDescendantOrSelf && plainName(s.Test) && len(s.Preds) == 0:
+			st = idxStep{dos: true, self: true, name: s.Test.Name}
+		case s.Axis == xpath.AxisChild && plainName(s.Test):
+			st = idxStep{name: s.Test.Name, ids: ps.IDConstraint}
+			st.idPreds, st.dataPreds = compileIdxPreds(ps)
+			st.pure = len(st.ids) == 1 && len(ps.IDPreds) == 1 &&
+				len(ps.RestPreds) == 0 && len(ps.Opaque) == 0
+		default:
+			return
+		}
+		steps = append(steps, st)
+	}
+	p.idxSteps = steps
+	p.Indexable = true
+}
+
+// plainName reports a node test that matches exactly one element name.
+func plainName(t xpath.NodeTest) bool {
+	return !t.Text && !t.AnyNode && t.Name != "" && t.Name != "*"
+}
+
+// compileIdxPreds splits a step's conjuncts into the walker's two
+// rejection classes — Pid (silent prune) and Prest+opaque (rejection with
+// generalization) — compiling each to its fast form where possible.
+func compileIdxPreds(ps *PlanStep) (idPreds, dataPreds []idxPred) {
+	for _, e := range ps.IDPreds {
+		if ps.IDConstraint != nil && xpath.IDDisjunction(e) {
+			// The constraint intersects every id-disjunction conjunct, so
+			// the indexed evaluator's ids filter already implies this one.
+			continue
+		}
+		idPreds = append(idPreds, idxPred{fast: xpatheval.CompileFastPred(e), expr: e})
+	}
+	for _, group := range [][]xpath.Expr{ps.RestPreds, ps.Opaque} {
+		for _, e := range group {
+			dataPreds = append(dataPreds, idxPred{fast: xpatheval.CompileFastPred(e), expr: e})
+		}
+	}
+	return idPreds, dataPreds
 }
 
 func compileStep(s *xpath.LocStep, schema *xpath.Schema) (*PlanStep, error) {

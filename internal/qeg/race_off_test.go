@@ -1,0 +1,5 @@
+//go:build !race
+
+package qeg
+
+const raceEnabled = false

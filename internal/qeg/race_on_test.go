@@ -1,0 +1,8 @@
+//go:build race
+
+package qeg
+
+// raceEnabled mirrors the race build tag: allocation-count assertions are
+// skipped under the race detector, whose instrumented sync.Pool allocates
+// on Get.
+const raceEnabled = true

@@ -42,6 +42,10 @@ type Config struct {
 	// Caching is set. It implements the Section 5.5 bypass suggestion and
 	// the "caching with no hits" condition of Figure 10.
 	CacheBypass bool
+	// DisableIndex turns off the cache-conscious fragment index fast path,
+	// forcing every local evaluation through the tree walker. It exists as
+	// the baseline arm of irisbench -exp local-eval and as an escape hatch.
+	DisableIndex bool
 	// NaivePlans selects the unoptimized per-query XSLT generation path
 	// (Figure 11's "naive XSLT creation").
 	NaivePlans bool
@@ -464,7 +468,7 @@ func (s *Site) handleQuery(ctx context.Context, msg *Message, reqBytes int, pinn
 		return errorMessage(planErr)
 	}
 
-	opts := qeg.Options{Now: s.cfg.Clock, IgnoreCached: s.cfg.CacheBypass}
+	opts := qeg.Options{Now: s.cfg.Clock, IgnoreCached: s.cfg.CacheBypass, NoIndex: s.cfg.DisableIndex}
 	ans := fragment.NewStore(s.rootName(), s.rootID())
 	seen := map[string]bool{}
 	unreachable := map[string]bool{}

@@ -337,6 +337,14 @@ func StepIDConstraint(s *LocStep) []string {
 	return ids
 }
 
+// IDDisjunction reports whether e is a pure disjunction of id-equality
+// tests — the predicate form StepIDConstraint captures completely, so a
+// caller already filtering on the constraint set need not re-evaluate e.
+func IDDisjunction(e Expr) bool {
+	_, ok := idDisjunction(e)
+	return ok
+}
+
 // idDisjunction matches an expression that is a disjunction of id-equality
 // tests (including a single equality) and returns the id literals.
 func idDisjunction(e Expr) ([]string, bool) {

@@ -1,0 +1,245 @@
+package xpatheval
+
+import (
+	"irisnet/internal/xmldb"
+	"irisnet/internal/xpath"
+)
+
+// Fast predicates: an allocation-free compiled form for the predicate
+// shapes that dominate sensor workloads — comparisons of a one-step
+// relative path (a field child or an attribute) against a literal, and
+// conjunctions of those. The indexed query path (internal/qeg) evaluates
+// one per candidate node; anything outside the supported shapes falls back
+// to the full evaluator, so a FastPred never changes a result, only the
+// cost of computing it.
+
+// Term operators. Relational terms always compare numerically, mirroring
+// compareRelational; equality terms compare strings or numbers depending
+// on the literal's type, mirroring compareEquality.
+const (
+	feExists = iota // bare path: [field] / [@attr]
+	feEq
+	feNeq
+	feLt
+	feLe
+	feGt
+	feGe
+)
+
+type fastTerm struct {
+	op      uint8
+	attr    bool    // lhs is @name rather than a child element
+	name    string  // lhs child/attribute name
+	str     string  // rhs for string-equality forms
+	num     float64 // rhs for numeric forms
+	numeric bool
+}
+
+// FastPred is one compiled predicate: a conjunction of fast terms.
+type FastPred struct {
+	terms []fastTerm
+}
+
+// CompileFastPred compiles e into its fast form, or returns nil when e
+// falls outside the supported shapes.
+func CompileFastPred(e xpath.Expr) *FastPred {
+	var terms []fastTerm
+	if !compileFastTerms(e, &terms) {
+		return nil
+	}
+	return &FastPred{terms: terms}
+}
+
+func compileFastTerms(e xpath.Expr, out *[]fastTerm) bool {
+	switch v := e.(type) {
+	case *xpath.Binary:
+		if v.Op == xpath.TokAnd {
+			return compileFastTerms(v.L, out) && compileFastTerms(v.R, out)
+		}
+		var op uint8
+		switch v.Op {
+		case xpath.TokEq:
+			op = feEq
+		case xpath.TokNeq:
+			op = feNeq
+		case xpath.TokLt:
+			op = feLt
+		case xpath.TokLe:
+			op = feLe
+		case xpath.TokGt:
+			op = feGt
+		case xpath.TokGe:
+			op = feGe
+		default:
+			return false
+		}
+		attr, name, ok := fastLHS(v.L)
+		str, num, isNum, lok := fastRHS(v.R)
+		if !ok || !lok {
+			// Literal on the left: mirror the comparison.
+			attr, name, ok = fastLHS(v.R)
+			str, num, isNum, lok = fastRHS(v.L)
+			if !ok || !lok {
+				return false
+			}
+			op = mirrorOp(op)
+		}
+		t := fastTerm{op: op, attr: attr, name: name}
+		if op == feEq || op == feNeq {
+			if isNum {
+				t.numeric = true
+				t.num = num
+			} else {
+				t.str = str
+			}
+		} else {
+			// Relational comparisons coerce both sides to numbers.
+			t.numeric = true
+			if isNum {
+				t.num = num
+			} else {
+				t.num = stringToNumber(str)
+			}
+		}
+		*out = append(*out, t)
+		return true
+	case *xpath.Path:
+		attr, name, ok := fastLHS(v)
+		if !ok {
+			return false
+		}
+		*out = append(*out, fastTerm{op: feExists, attr: attr, name: name})
+		return true
+	}
+	return false
+}
+
+// fastLHS recognizes a one-step relative path: child::name or @name, with
+// no predicates and no wildcards.
+func fastLHS(e xpath.Expr) (attr bool, name string, ok bool) {
+	p, isPath := e.(*xpath.Path)
+	if !isPath || p.Absolute || len(p.Steps) != 1 {
+		return false, "", false
+	}
+	s := p.Steps[0]
+	t := s.Test
+	if len(s.Preds) != 0 || t.Text || t.AnyNode || t.Name == "" || t.Name == "*" {
+		return false, "", false
+	}
+	switch s.Axis {
+	case xpath.AxisChild:
+		return false, t.Name, true
+	case xpath.AxisAttribute:
+		return true, t.Name, true
+	}
+	return false, "", false
+}
+
+func fastRHS(e xpath.Expr) (str string, num float64, isNum bool, ok bool) {
+	switch v := e.(type) {
+	case *xpath.Literal:
+		return v.Value, 0, false, true
+	case *xpath.Number:
+		return "", v.Value, true, true
+	}
+	return "", 0, false, false
+}
+
+// mirrorOp swaps the comparison direction for literal-on-the-left forms
+// ('5' < price  ==  price > 5). Equality forms are symmetric.
+func mirrorOp(op uint8) uint8 {
+	switch op {
+	case feLt:
+		return feGt
+	case feLe:
+		return feGe
+	case feGt:
+		return feLt
+	case feGe:
+		return feLe
+	}
+	return op
+}
+
+// Eval evaluates the predicate against n with the full evaluator's
+// semantics. ok is false when a matched child's string-value would need a
+// subtree walk (the child has element children) — the caller must fall
+// back to EvalBool then. The success path performs no allocations.
+func (p *FastPred) Eval(n *xmldb.Node) (result, ok bool) {
+	for i := range p.terms {
+		r, o := p.terms[i].eval(n)
+		if !o {
+			return false, false
+		}
+		if !r {
+			return false, true
+		}
+	}
+	return true, true
+}
+
+func (t *fastTerm) eval(n *xmldb.Node) (result, ok bool) {
+	if t.attr {
+		for _, a := range n.Attrs {
+			if a.Name != t.name {
+				continue
+			}
+			if t.op == feExists {
+				return true, true
+			}
+			// Attribute node-sets hold exactly one node.
+			return t.compare(a.Value), true
+		}
+		return false, true // empty node-set: exists and comparisons all false
+	}
+	sawComplex := false
+	for _, c := range n.Children {
+		if c.Name != t.name {
+			continue
+		}
+		if t.op == feExists {
+			return true, true
+		}
+		if len(c.Children) != 0 {
+			// String-value needs the subtree; defer to the full evaluator
+			// unless an earlier/later leaf already satisfies the term.
+			sawComplex = true
+			continue
+		}
+		if t.compare(c.Text) {
+			return true, true
+		}
+	}
+	if sawComplex {
+		return false, false
+	}
+	return false, true
+}
+
+// compare applies the term's comparison to one node's string-value,
+// following compareEquality/compareRelational for a singleton node-set
+// against a literal. NaN propagates IEEE-style: any relational or equality
+// comparison with NaN is false, and != with NaN is true.
+func (t *fastTerm) compare(sv string) bool {
+	if t.numeric {
+		v := stringToNumber(sv)
+		switch t.op {
+		case feEq:
+			return v == t.num
+		case feNeq:
+			return v != t.num
+		case feLt:
+			return v < t.num
+		case feLe:
+			return v <= t.num
+		case feGt:
+			return v > t.num
+		default:
+			return v >= t.num
+		}
+	}
+	if t.op == feNeq {
+		return sv != t.str
+	}
+	return sv == t.str
+}

@@ -1,14 +1,25 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Smoke-tests bounded query-driven caching: runs the cache-pressure
 # experiment in -short mode (sub-second arms) and fails unless the machine
 # report says both acceptance checks held — cache bytes never exceeded the
 # budget by more than one local-information unit, and the hit rate degraded
-# gracefully as the budget shrank. Needs only a POSIX shell.
-set -eu
+# gracefully as the budget shrank.
+set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-go run ./cmd/irisbench -exp cache-pressure -short
+LOG=$(mktemp)
+cleanup() {
+    rm -f "$LOG"
+}
+trap cleanup EXIT
+
+if ! go run ./cmd/irisbench -exp cache-pressure -short >"$LOG" 2>&1; then
+    echo "cache-smoke: cache-pressure experiment failed" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+cat "$LOG"
 
 if ! grep -q '"pass": true' BENCH_PR5.json; then
     echo "cache-smoke: cache-pressure acceptance failed" >&2

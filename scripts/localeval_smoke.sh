@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Smoke-tests the cache-conscious fragment index: runs the local-eval
+# experiment in -short mode and fails unless the machine report says all
+# acceptance checks held — >=5x speedup over the tree walker on the gated
+# descendant arms, an allocation-free selection core, and byte-identical
+# answers from both paths.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+LOG=$(mktemp)
+cleanup() {
+    rm -f "$LOG"
+}
+trap cleanup EXIT
+
+if ! go run ./cmd/irisbench -exp local-eval -short >"$LOG" 2>&1; then
+    echo "localeval-smoke: local-eval experiment failed" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+cat "$LOG"
+
+if ! grep -q '"pass": true' BENCH_PR6.json; then
+    echo "localeval-smoke: local-eval acceptance failed" >&2
+    cat BENCH_PR6.json >&2
+    exit 1
+fi
+
+echo "localeval-smoke: ok (speedup, alloc-free core, byte-identical answers)"

@@ -1,29 +1,34 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Smoke-tests the irisnetd observability endpoint: starts the parking-demo
 # root site (hosting the registry) with -admin, waits for /healthz, checks
 # that /metrics serves Prometheus text with the irisnet series, and that
-# /debug/fragment reports the site. Needs only a POSIX shell + curl.
-set -eu
+# /debug/fragment reports the site. The background daemon is always torn
+# down by the EXIT trap, even when a check fails mid-script.
+set -euo pipefail
 
 cd "$(dirname "$0")/.."
 TOPO=deployments/parking-demo/topo.json
 ADMIN=127.0.0.1:19090
 LOG=$(mktemp)
 BIN=$(mktemp)
+PID=""
+
+cleanup() {
+    if [ -n "$PID" ]; then
+        kill "$PID" 2>/dev/null || true
+        wait "$PID" 2>/dev/null || true
+    fi
+    rm -f "$BIN" "$LOG"
+}
+trap cleanup EXIT
 
 go build -o "$BIN" ./cmd/irisnetd
 
 "$BIN" -topology "$TOPO" -site root-site -registry -admin "$ADMIN" >"$LOG" 2>&1 &
 PID=$!
-cleanup() {
-    kill "$PID" 2>/dev/null || true
-    wait "$PID" 2>/dev/null || true
-    rm -f "$BIN"
-}
-trap cleanup EXIT
 
 ok=0
-for i in $(seq 1 50); do
+for _ in $(seq 1 50); do
     if curl -fsS "http://$ADMIN/healthz" 2>/dev/null | grep -q '^ok$'; then
         ok=1
         break
