@@ -21,7 +21,11 @@
 // server's role; all sites and tools resolve names through it.
 //
 // With -admin the daemon also serves an HTTP observability endpoint:
-// /metrics (Prometheus text), /healthz, and /debug/fragment.
+// /metrics (Prometheus text), /healthz, /debug/fragment (?site= selects
+// one site), /debug/cluster (federated topology + counters across every
+// admin listed in the topology's "admins" map), the net/http/pprof
+// endpoints under /debug/pprof/, and — with -profile-interval —
+// /debug/profile/latest, the newest continuous CPU-profile sample.
 //
 // Usage:
 //
@@ -45,8 +49,12 @@ func main() {
 		registry  = flag.Bool("registry", false, "also host the name registry for the deployment")
 		caching   = flag.Bool("caching", true, "cache query results at this site")
 		cacheCap  = flag.Int64("cache-budget", 0, "cache memory budget in bytes (0 = unbounded); cold cached units are evicted when accounted bytes exceed it")
-		adminAddr = flag.String("admin", "", "serve /metrics, /healthz, /debug/fragment on this host:port (\":0\" picks a port)")
+		adminAddr = flag.String("admin", "", "serve /metrics, /healthz, /debug/fragment, /debug/cluster and /debug/pprof on this host:port (\":0\" picks a port)")
 		verbose   = flag.Bool("v", false, "log per-query debug detail (trace IDs, cache hits, fan-out)")
+		noLedger  = flag.Bool("no-freshness-ledger", false, "disable per-answer provenance/staleness accounting")
+		slowQuery = flag.Duration("slow-query", 0, "log a warning for queries slower than this (0 = off)")
+		staleAns  = flag.Duration("stale-answer", 0, "log a warning for answers using cached data older than this (0 = off)")
+		profEvery = flag.Duration("profile-interval", 0, "take a 1s continuous CPU-profile sample this often, served at /debug/profile/latest (0 = off; needs -admin)")
 	)
 	flag.Parse()
 	if *topoPath == "" || *siteName == "" {
@@ -69,6 +77,11 @@ func main() {
 		CacheBudgetBytes: *cacheCap,
 		AdminAddr:        *adminAddr,
 		Logger:           logger,
+
+		DisableFreshnessLedger: *noLedger,
+		SlowQueryThreshold:     *slowQuery,
+		StaleAnswerThreshold:   *staleAns,
+		ProfileInterval:        *profEvery,
 	})
 	if err != nil {
 		fail(logger, err)
@@ -81,9 +94,13 @@ func main() {
 		"cache_budget_bytes", *cacheCap,
 		"owned_nodes", len(node.Site.OwnedPaths()))
 	if node.AdminAddr != "" {
+		paths := "/metrics /healthz /debug/fragment /debug/cluster /debug/pprof"
+		if *profEvery > 0 {
+			paths += " /debug/profile/latest"
+		}
 		logger.Info("admin endpoint serving",
 			"addr", node.AdminAddr,
-			"paths", "/metrics /healthz /debug/fragment")
+			"paths", paths)
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -54,6 +54,11 @@ func main() {
 		fatal(err)
 		if span != nil {
 			fmt.Println(trace.Render(span))
+			if fr := trace.AggregateFreshness(span); fr != nil {
+				if s := fr.Summary(); s != "" {
+					fmt.Printf("freshness: %s\n", s)
+				}
+			}
 		}
 		fmt.Printf("<!-- %d result(s) -->\n", len(ans.Nodes))
 		for _, n := range ans.Nodes {

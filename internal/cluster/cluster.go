@@ -127,6 +127,10 @@ type Config struct {
 	// for the coalescing experiments). Empty keeps the per-architecture
 	// default.
 	ForceEntry string
+	// DisableFreshnessLedger turns off per-answer provenance accounting at
+	// every site (the irisbench obs-overhead baseline arm). See
+	// site.Config.DisableFreshnessLedger.
+	DisableFreshnessLedger bool
 }
 
 func (c Config) withDefaults() Config {
@@ -218,6 +222,8 @@ func New(arch Architecture, cfg Config) (*Cluster, error) {
 			DisableBatching:   cfg.DisableBatching,
 			BatchByteCap:      cfg.BatchByteCap,
 			DisableCoalescing: cfg.DisableCoalescing,
+
+			DisableFreshnessLedger: cfg.DisableFreshnessLedger,
 		}, workload.RootName, workload.RootID)
 		s.Load(stores[name], owned[name])
 		if err := s.Start(); err != nil {
@@ -327,7 +333,8 @@ func BalancedSkewCluster(cfg Config, hotCity, hotNB int) (*Cluster, error) {
 			QueryWork: cfg.QueryWork, PerNodeWork: cfg.PerNodeWork, UpdateWork: cfg.UpdateWork,
 			CallTimeout: cfg.CallTimeout, Retry: cfg.Retry,
 			DisableBatching: cfg.DisableBatching, BatchByteCap: cfg.BatchByteCap,
-			DisableCoalescing: cfg.DisableCoalescing,
+			DisableCoalescing:      cfg.DisableCoalescing,
+			DisableFreshnessLedger: cfg.DisableFreshnessLedger,
 		}, workload.RootName, workload.RootID)
 		s.Load(stores[name], owned[name])
 		if err := s.Start(); err != nil {

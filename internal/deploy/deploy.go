@@ -41,6 +41,10 @@ type Topology struct {
 	Ownership map[string]string `json:"ownership"`
 	// Registry is the host:port of the name registry service.
 	Registry string `json:"registry"`
+	// Admins optionally maps site names to their admin (observability)
+	// host:port addresses, letting each site's /debug/cluster federate the
+	// whole deployment's views.
+	Admins map[string]string `json:"admins,omitempty"`
 
 	dir string // directory of the topology file, for Document resolution
 }
@@ -81,6 +85,11 @@ func (t *Topology) validate() error {
 		}
 		if _, err := xmldb.ParseIDPath(p); err != nil {
 			return fmt.Errorf("deploy: bad ownership path: %w", err)
+		}
+	}
+	for s := range t.Admins {
+		if _, ok := t.Sites[s]; !ok {
+			return fmt.Errorf("deploy: admin address for unknown site %q", s)
 		}
 	}
 	return nil
@@ -207,11 +216,23 @@ type SiteOptions struct {
 	// Schema overrides the inferred schema.
 	Schema *xpath.Schema
 	// AdminAddr, when non-empty, serves the observability endpoint
-	// (/metrics, /healthz, /debug/fragment) on this host:port (":0" picks
-	// a free port; see Node.AdminAddr for the bound address).
+	// (/metrics, /healthz, /debug/fragment, /debug/cluster, /debug/pprof)
+	// on this host:port (":0" picks a free port; see Node.AdminAddr for
+	// the bound address).
 	AdminAddr string
 	// Logger receives the site's structured logs; nil disables them.
 	Logger *slog.Logger
+	// DisableFreshnessLedger turns off per-answer provenance accounting.
+	DisableFreshnessLedger bool
+	// SlowQueryThreshold, when positive, logs a warning for queries whose
+	// handling time reaches it. StaleAnswerThreshold does the same for
+	// answers whose oldest cached unit reaches the given age.
+	SlowQueryThreshold   time.Duration
+	StaleAnswerThreshold time.Duration
+	// ProfileInterval, when positive, runs a continuous CPU profiler that
+	// takes a one-second sample each interval, served at
+	// /debug/profile/latest. Requires AdminAddr.
+	ProfileInterval time.Duration
 }
 
 // Node is a running deployment member.
@@ -224,12 +245,16 @@ type Node struct {
 	Admin *service.Admin
 	// AdminAddr is the bound admin address ("" when disabled).
 	AdminAddr string
+	profiler  *service.ContinuousProfiler
 	stopReg   func()
 	registry  naming.Store
 }
 
 // Stop shuts the node down.
 func (n *Node) Stop() {
+	if n.profiler != nil {
+		n.profiler.Stop()
+	}
 	if n.Admin != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		_ = n.Admin.Shutdown(ctx)
@@ -294,6 +319,10 @@ func StartSite(t *Topology, name string, opts SiteOptions) (*Node, error) {
 		CacheBudgetBytes: opts.CacheBudgetBytes,
 		CPUSlots:         4,
 		Logger:           opts.Logger,
+
+		DisableFreshnessLedger: opts.DisableFreshnessLedger,
+		SlowQueryThreshold:     opts.SlowQueryThreshold,
+		StaleAnswerThreshold:   opts.StaleAnswerThreshold,
 	}, doc.Name, doc.ID())
 	store, okStore := stores[name]
 	if !okStore {
@@ -310,8 +339,24 @@ func StartSite(t *Topology, name string, opts SiteOptions) (*Node, error) {
 	if opts.AdminAddr != "" {
 		admin := service.NewAdmin(node.Metrics)
 		admin.AddSite(s)
+		if len(t.Admins) > 0 {
+			peers := make(map[string]string, len(t.Admins))
+			for peer, addr := range t.Admins {
+				if peer != name {
+					peers[peer] = addr
+				}
+			}
+			admin.SetPeers(peers)
+		}
+		if opts.ProfileInterval > 0 {
+			node.profiler = service.StartContinuousProfiler(opts.ProfileInterval, 0)
+			admin.AttachProfiler(node.profiler)
+		}
 		bound, err := admin.Serve(opts.AdminAddr)
 		if err != nil {
+			if node.profiler != nil {
+				node.profiler.Stop()
+			}
 			s.Stop()
 			if node.stopReg != nil {
 				node.stopReg()

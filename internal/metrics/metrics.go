@@ -6,12 +6,21 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"math/rand/v2"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// DefaultRetainedSamples bounds a histogram's raw-sample buffer when the
+// caller does not choose a limit. Past the bound, new observations
+// replace retained ones with probability limit/count (Vitter's reservoir
+// algorithm R), so the retained set stays a uniform sample of the whole
+// stream and quantiles remain representative while memory stays fixed —
+// a long-running daemon no longer grows summary buffers without bound.
+const DefaultRetainedSamples = 8192
 
 // Counter is a monotonically increasing atomic counter.
 type Counter struct {
@@ -43,12 +52,12 @@ type Histogram struct {
 	sum     time.Duration
 }
 
-// NewHistogram creates a histogram that retains at most limit samples
-// (reservoir-less: after the limit, samples are dropped but count/sum keep
-// accumulating). limit <= 0 means 1<<20.
+// NewHistogram creates a histogram that retains at most limit samples; a
+// full buffer degrades to uniform reservoir sampling, with count/sum
+// still accumulating exactly. limit <= 0 means DefaultRetainedSamples.
 func NewHistogram(limit int) *Histogram {
 	if limit <= 0 {
-		limit = 1 << 20
+		limit = DefaultRetainedSamples
 	}
 	return &Histogram{limit: limit, sorted: true}
 }
@@ -66,6 +75,13 @@ func (h *Histogram) Observe(d time.Duration) {
 			h.sorted = false
 		}
 		h.samples = append(h.samples, d)
+		return
+	}
+	// Reservoir algorithm R: keep the new sample with probability
+	// limit/count, evicting a uniformly chosen retained one.
+	if j := rand.Int64N(h.count); j < int64(h.limit) {
+		h.samples[j] = d
+		h.sorted = false
 	}
 }
 
@@ -131,10 +147,11 @@ type SizeHistogram struct {
 }
 
 // NewSizeHistogram creates a value histogram retaining at most limit
-// samples (limit <= 0 means 1<<20); count/sum keep accumulating past it.
+// samples, degrading to reservoir sampling when full; count/sum keep
+// accumulating exactly. limit <= 0 means DefaultRetainedSamples.
 func NewSizeHistogram(limit int) *SizeHistogram {
 	if limit <= 0 {
-		limit = 1 << 20
+		limit = DefaultRetainedSamples
 	}
 	return &SizeHistogram{limit: limit, sorted: true}
 }
@@ -150,6 +167,11 @@ func (h *SizeHistogram) Observe(v float64) {
 			h.sorted = false
 		}
 		h.samples = append(h.samples, v)
+		return
+	}
+	if j := rand.Int64N(h.count); j < int64(h.limit) {
+		h.samples[j] = v
+		h.sorted = false
 	}
 }
 

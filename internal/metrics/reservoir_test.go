@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHistogramReservoirBounded: past the retention limit the buffer must
+// stay fixed-size while count/sum keep exact totals and quantiles remain
+// representative of the whole stream (uniform reservoir), not just its
+// first `limit` observations.
+func TestHistogramReservoirBounded(t *testing.T) {
+	const limit, n = 128, 100000
+	h := NewHistogram(limit)
+	var wantSum time.Duration
+	for i := 1; i <= n; i++ {
+		d := time.Duration(i) * time.Microsecond
+		h.Observe(d)
+		wantSum += d
+	}
+	if h.Count() != n {
+		t.Fatalf("count = %d, want %d", h.Count(), n)
+	}
+	if h.Sum() != wantSum {
+		t.Fatalf("sum = %v, want %v", h.Sum(), wantSum)
+	}
+	h.mu.Lock()
+	retained := len(h.samples)
+	h.mu.Unlock()
+	if retained != limit {
+		t.Fatalf("retained %d samples, want exactly %d", retained, limit)
+	}
+	// A uniform 128-sample reservoir of 1..n µs has its median within
+	// (25%, 75%) of the range except with probability ~1e-8; the first-128
+	// non-reservoir failure mode would report 64µs here.
+	med := h.Quantile(0.5)
+	if med < n/4*time.Microsecond || med > 3*n/4*time.Microsecond {
+		t.Fatalf("median %v not representative of stream 1..%dµs", med, n)
+	}
+}
+
+func TestSizeHistogramReservoirBounded(t *testing.T) {
+	const limit, n = 128, 100000
+	h := NewSizeHistogram(limit)
+	var wantSum float64
+	for i := 1; i <= n; i++ {
+		h.Observe(float64(i))
+		wantSum += float64(i)
+	}
+	if h.Count() != n {
+		t.Fatalf("count = %d, want %d", h.Count(), n)
+	}
+	if h.Sum() != wantSum {
+		t.Fatalf("sum = %v, want %v", h.Sum(), wantSum)
+	}
+	h.mu.Lock()
+	retained := len(h.samples)
+	h.mu.Unlock()
+	if retained != limit {
+		t.Fatalf("retained %d samples, want exactly %d", retained, limit)
+	}
+	med := h.Quantile(0.5)
+	if med < n/4 || med > 3*n/4 {
+		t.Fatalf("median %v not representative of stream 1..%d", med, n)
+	}
+	if max := h.Quantile(1); max < n/2 {
+		t.Fatalf("q1 = %v suspiciously low for stream 1..%d", max, n)
+	}
+}

@@ -23,6 +23,10 @@ type Options struct {
 	// NoIndex disables the cache-conscious indexed fast path (indexed.go)
 	// and forces the tree walker, for measurement and as an escape hatch.
 	NoIndex bool
+	// Prov, when non-nil, receives the staleness ledger of the evaluation:
+	// per-unit cache/owned provenance, cached ages, and consistency-
+	// predicate margins. Both evaluation paths feed it.
+	Prov *Provenance
 }
 
 // debugShadow, when enabled by tests, runs the walker after every indexed
@@ -53,7 +57,7 @@ func Evaluate(store *fragment.Store, plan *Plan, opts Options) (*Result, error) 
 	// index does not model, so it also disables the fast path.
 	if plan.Indexable && !opts.NoIndex && !opts.IgnoreCached {
 		if ix := store.Index(); ix != nil {
-			res, ok, err := evaluateIndexed(store, ix, plan, opts.Now)
+			res, ok, err := evaluateIndexed(store, ix, plan, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -61,6 +65,7 @@ func Evaluate(store *fragment.Store, plan *Plan, opts Options) (*Result, error) 
 				if debugShadow {
 					o2 := opts
 					o2.NoIndex = true
+					o2.Prov = nil // the shadow rerun must not double-count the ledger
 					wres, werr := Evaluate(store, plan, o2)
 					if werr != nil || wres.Fragment.String() != res.Fragment.String() || len(wres.Subqueries) != 0 || wres.Nodes != res.Nodes {
 						panic(fmt.Sprintf("indexed mismatch for %s:\nindexed: %s\nwalker:  %s\nsubs: %v err: %v",
@@ -206,8 +211,26 @@ func (w *walker) tryMatch(c *xmldb.Node, p xmldb.IDPath, i int) (bool, error) {
 			w.addSub(p, w.plan.pinnedQuery(p, i+1, true))
 			return false, nil
 		}
+		w.noteConsMargins(ps, c)
 	}
 	return true, nil
+}
+
+// noteConsMargins records, in the evaluation's ledger, the slack by which
+// a cached node satisfied each consistency predicate of the step.
+func (w *walker) noteConsMargins(ps *PlanStep, c *xmldb.Node) {
+	prov := w.opts.Prov
+	if prov == nil {
+		return
+	}
+	ts, hasTS := fragment.Timestamp(c)
+	for i := range ps.ConsPreds {
+		if form := ps.ConsForms[i]; form != nil && hasTS {
+			prov.noteMargin(ps.ConsSrcs[i], form.Margin(ts, prov.now), true)
+		} else {
+			prov.noteMargin(ps.ConsSrcs[i], 0, false)
+		}
+	}
 }
 
 // rejectWithGeneralization handles a candidate whose data predicates failed
@@ -252,6 +275,7 @@ func (w *walker) tryMatchNested(c *xmldb.Node, p xmldb.IDPath, i int) (bool, err
 			w.addSub(p, SubtreeQuery(p))
 			return false, nil
 		}
+		w.noteConsMargins(ps, c)
 	}
 	return true, nil
 }
@@ -445,6 +469,9 @@ func (w *walker) recurseChildren(n *xmldb.Node, p xmldb.IDPath, active []int, st
 // installLocalInfo adds n's local information to the answer store, tagged
 // complete (ownership does not travel with answers).
 func (w *walker) installLocalInfo(n *xmldb.Node, p xmldb.IDPath) error {
+	if w.opts.Prov != nil {
+		w.opts.Prov.noteUnit(n, w.statusOf(n))
+	}
 	if len(p) == 1 {
 		// Document root: install in place on the answer store root.
 		return w.ans.MergeFragment(rootLocalInfoFragment(n))

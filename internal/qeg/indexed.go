@@ -60,7 +60,7 @@ var idxScratchPool = sync.Pool{New: func() any { return new(idxScratch) }}
 
 // evaluateIndexed runs the full indexed fast path: selection plus
 // generalized-answer construction. ok=false defers to the walker.
-func evaluateIndexed(store *fragment.Store, ix *fragment.Index, plan *Plan, now func() float64) (*Result, bool, error) {
+func evaluateIndexed(store *fragment.Store, ix *fragment.Index, plan *Plan, opts Options) (*Result, bool, error) {
 	sc := idxScratchPool.Get().(*idxScratch)
 	defer idxScratchPool.Put(sc)
 	if int32(cap(sc.marks)) < ix.Len() {
@@ -68,11 +68,11 @@ func evaluateIndexed(store *fragment.Store, ix *fragment.Index, plan *Plan, now 
 	}
 	marks := sc.marks[:ix.Len()]
 	clear(marks)
-	_, ok, err := indexSelect(store, ix, plan, now, sc, marks)
+	_, ok, err := indexSelect(store, ix, plan, opts.Now, sc, marks)
 	if err != nil || !ok {
 		return nil, ok, err
 	}
-	frag, nodes := emitAnswer(store, ix, marks)
+	frag, nodes := emitAnswer(store, ix, marks, opts.Prov)
 	return &Result{Fragment: frag, Nodes: nodes}, true, nil
 }
 
@@ -320,7 +320,7 @@ func findChildPos(ix *fragment.Index, pos int32, name, id string) int32 {
 // emitAnswer renders the marked positions into the answer fragment the
 // walker's answer store would hold, in document order, returning the
 // fragment and its element count.
-func emitAnswer(store *fragment.Store, ix *fragment.Index, marks []uint8) (*xmldb.Node, int) {
+func emitAnswer(store *fragment.Store, ix *fragment.Index, marks []uint8, prov *Provenance) (*xmldb.Node, int) {
 	if marks[0] == 0 {
 		// Nothing contributed: the walker's answer store stays a bare
 		// incomplete document root.
@@ -329,7 +329,7 @@ func emitAnswer(store *fragment.Store, ix *fragment.Index, marks []uint8) (*xmld
 		return root, 1
 	}
 	nodes := 0
-	return emitNode(ix, 0, marks, &nodes), nodes
+	return emitNode(ix, 0, marks, &nodes, prov), nodes
 }
 
 // Status attribute values, interned once so emission builds each node's
@@ -348,7 +348,7 @@ var (
 // is rendered recursively in place of its stub, keeping document order —
 // the same shape the walker's install sequence converges to (attributes in
 // source order minus status, then status appended last).
-func emitNode(ix *fragment.Index, p int32, marks []uint8, nodes *int) *xmldb.Node {
+func emitNode(ix *fragment.Index, p int32, marks []uint8, nodes *int, prov *Provenance) *xmldb.Node {
 	n := ix.Node(p)
 	*nodes++
 	anc := marks[p] == clAnc
@@ -360,6 +360,11 @@ func emitNode(ix *fragment.Index, p int32, marks []uint8, nodes *int) *xmldb.Nod
 		}
 		out.Attrs = append(out.Attrs, xmldb.Attr{Name: xmldb.AttrStatus, Value: statusIDCompleteVal})
 	} else {
+		// A clLoc position mirrors the walker's installLocalInfo: the one
+		// place a local-information unit joins the answer on this path.
+		if prov != nil {
+			prov.noteUnit(n, fragment.StatusOf(n))
+		}
 		out = &xmldb.Node{Name: n.Name, Text: n.Text, Attrs: make([]xmldb.Attr, 0, len(n.Attrs)+1)}
 		for _, a := range n.Attrs {
 			if a.Name != xmldb.AttrStatus {
@@ -386,7 +391,7 @@ func emitNode(ix *fragment.Index, p int32, marks []uint8, nodes *int) *xmldb.Nod
 			continue
 		}
 		if marks[cq] != 0 {
-			ch := emitNode(ix, cq, marks, nodes)
+			ch := emitNode(ix, cq, marks, nodes, prov)
 			ch.Parent = out
 			out.Children = append(out.Children, ch)
 			continue

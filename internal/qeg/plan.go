@@ -94,6 +94,12 @@ type PlanStep struct {
 	// ConsPreds are conjuncts touching only @ts/now() (query-based
 	// consistency; ignored on owned nodes).
 	ConsPreds []xpath.Expr
+	// ConsForms and ConsSrcs run parallel to ConsPreds: the compiled
+	// linear form used to measure the freshness margin when a cached node
+	// passes (nil when outside the compilable subset), and the conjunct's
+	// source text used to key the margin in the staleness ledger.
+	ConsForms []*xpath.FreshnessForm
+	ConsSrcs  []string
 	// RestPreds are conjuncts needing the node's local information.
 	RestPreds []xpath.Expr
 	// Opaque are conjuncts mixing classes; they force conservative
@@ -244,6 +250,12 @@ func compileStep(s *xpath.LocStep, schema *xpath.Schema) (*PlanStep, error) {
 				ps.IDPreds = append(ps.IDPreds, c)
 			case xpath.PredConsistency:
 				ps.ConsPreds = append(ps.ConsPreds, c)
+				form, ok := xpath.CompileFreshness(c)
+				if !ok {
+					form = nil
+				}
+				ps.ConsForms = append(ps.ConsForms, form)
+				ps.ConsSrcs = append(ps.ConsSrcs, fmt.Sprint(c))
 			case xpath.PredRest:
 				ps.RestPreds = append(ps.RestPreds, c)
 			default:

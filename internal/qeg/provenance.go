@@ -1,0 +1,159 @@
+package qeg
+
+import (
+	"irisnet/internal/fragment"
+	"irisnet/internal/xmldb"
+)
+
+// MarginStat accumulates the freshness margins observed for one
+// consistency-class predicate (keyed by its source text) across an
+// evaluation: how many cached units it was checked against, and the
+// tightest slack any of them had.
+type MarginStat struct {
+	Checks int
+	Min    float64
+}
+
+// Provenance is the staleness ledger of one QEG evaluation. It records,
+// for every local-information unit that contributed to the answer,
+// whether the unit was owned or cached, its size, the age of cached
+// units (now - timestamp), and the margin by which each consistency
+// predicate was satisfied. Both evaluation paths — the tree walker and
+// the indexed fast path — feed the same ledger, so a report is available
+// regardless of which path served the query.
+//
+// A Provenance is not safe for concurrent use; evaluations are
+// single-goroutine, and the gather loop merges per-round ledgers
+// sequentially.
+type Provenance struct {
+	now float64
+
+	// Unit and byte accounting, split by residency.
+	OwnedUnits  int
+	CachedUnits int
+	OwnedBytes  int64
+	CachedBytes int64
+
+	// Age accounting over cached units that carry a timestamp.
+	AgedUnits int
+	AgeSum    float64
+	AgeMax    float64
+
+	// Consistency-predicate margins. MarginChecks counts every
+	// predicate evaluation against a cached unit, including predicates
+	// outside the compilable subset (which contribute no margin).
+	MarginChecks int
+	Margins      map[string]*MarginStat
+}
+
+// NewProvenance returns an empty ledger for an evaluation at time now
+// (seconds, same clock as node timestamps).
+func NewProvenance(now float64) *Provenance {
+	return &Provenance{now: now}
+}
+
+// Now returns the evaluation time the ledger ages units against.
+func (p *Provenance) Now() float64 { return p.now }
+
+// noteUnit records one local-information unit contributing to the
+// answer. st is the unit's residency status in the evaluated store:
+// owned units are authoritative, complete units are cached copies.
+func (p *Provenance) noteUnit(n *xmldb.Node, st fragment.Status) {
+	switch st {
+	case fragment.StatusOwned:
+		p.OwnedUnits++
+		p.OwnedBytes += int64(fragment.LocalInfoBytes(n))
+	case fragment.StatusComplete:
+		p.CachedUnits++
+		p.CachedBytes += int64(fragment.LocalInfoBytes(n))
+		if ts, ok := fragment.Timestamp(n); ok {
+			age := p.now - ts
+			if age < 0 {
+				age = 0
+			}
+			p.AgedUnits++
+			p.AgeSum += age
+			if age > p.AgeMax {
+				p.AgeMax = age
+			}
+		}
+	}
+}
+
+// noteMargin records one consistency-predicate check that passed on a
+// cached unit. measured is false when the predicate is outside the
+// compilable subset, in which case only the check is counted.
+func (p *Provenance) noteMargin(pred string, margin float64, measured bool) {
+	p.MarginChecks++
+	if !measured {
+		return
+	}
+	if p.Margins == nil {
+		p.Margins = make(map[string]*MarginStat, 2)
+	}
+	st, ok := p.Margins[pred]
+	if !ok {
+		p.Margins[pred] = &MarginStat{Checks: 1, Min: margin}
+		return
+	}
+	st.Checks++
+	if margin < st.Min {
+		st.Min = margin
+	}
+}
+
+// MeanAge returns the mean age of the timestamped cached units, zero
+// when none contributed.
+func (p *Provenance) MeanAge() float64 {
+	if p.AgedUnits == 0 {
+		return 0
+	}
+	return p.AgeSum / float64(p.AgedUnits)
+}
+
+// MinMargin returns the tightest margin observed across all measured
+// predicate checks; ok is false when none were measured.
+func (p *Provenance) MinMargin() (float64, bool) {
+	ok := false
+	min := 0.0
+	for _, st := range p.Margins {
+		if !ok || st.Min < min {
+			min = st.Min
+			ok = true
+		}
+	}
+	return min, ok
+}
+
+// Merge folds o into p. The gather loop evaluates the working store once
+// per round and merges each round's ledger into the query-level one, so
+// units re-read across rounds are counted once per contributing round.
+func (p *Provenance) Merge(o *Provenance) {
+	if o == nil {
+		return
+	}
+	p.OwnedUnits += o.OwnedUnits
+	p.CachedUnits += o.CachedUnits
+	p.OwnedBytes += o.OwnedBytes
+	p.CachedBytes += o.CachedBytes
+	p.AgedUnits += o.AgedUnits
+	p.AgeSum += o.AgeSum
+	if o.AgeMax > p.AgeMax {
+		p.AgeMax = o.AgeMax
+	}
+	p.MarginChecks += o.MarginChecks
+	for pred, ost := range o.Margins {
+		if p.Margins == nil {
+			p.Margins = make(map[string]*MarginStat, len(o.Margins))
+		}
+		st, ok := p.Margins[pred]
+		if !ok {
+			p.Margins[pred] = &MarginStat{Checks: ost.Checks, Min: ost.Min}
+			continue
+		}
+		st.Checks += ost.Checks
+		if ost.Min < st.Min {
+			st.Min = ost.Min
+		}
+	}
+}

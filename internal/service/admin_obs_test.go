@@ -1,0 +1,225 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"irisnet/internal/metrics"
+	"irisnet/internal/site"
+)
+
+// TestDebugFragmentSiteSelector: ?site= narrows the fragment dump to one
+// site and unknown names answer 404.
+func TestDebugFragmentSiteSelector(t *testing.T) {
+	_, _, sites, _, _ := deploy(t)
+	a := NewAdmin(metrics.NewRegistry())
+	for _, s := range sites {
+		a.AddSite(s)
+	}
+	srv := httptest.NewServer(a.Handler())
+	defer srv.Close()
+
+	resp, body := adminGet(t, srv, "/debug/fragment?site=root-site")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("?site=root-site status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("content type %q", ct)
+	}
+	var infos []site.DebugInfo
+	if err := json.Unmarshal([]byte(body), &infos); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if len(infos) != 1 || infos[0].Site != "root-site" {
+		t.Fatalf("selector returned %+v, want exactly root-site", infos)
+	}
+
+	resp, body = adminGet(t, srv, "/debug/fragment?site=no-such-site")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown site: status %d body %q, want 404", resp.StatusCode, body)
+	}
+
+	resp, body = adminGet(t, srv, "/debug/fragment")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("unfiltered status %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal([]byte(body), &infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != len(sites) {
+		t.Fatalf("unfiltered dump has %d sites, want %d", len(infos), len(sites))
+	}
+}
+
+// TestDebugClusterLocal: /debug/cluster reports every local site with its
+// stats, in JSON and as a text table.
+func TestDebugClusterLocal(t *testing.T) {
+	fe, db, sites, _, _ := deploy(t)
+	a := NewAdmin(metrics.NewRegistry())
+	for _, s := range sites {
+		a.AddSite(s)
+	}
+	srv := httptest.NewServer(a.Handler())
+	defer srv.Close()
+
+	q := db.NeighborhoodPath(0, 0).String() + "/block/parkingSpace[available='yes']"
+	if _, err := fe.QueryFull(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := adminGet(t, srv, "/debug/cluster")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/cluster status %d", resp.StatusCode)
+	}
+	var view ClusterView
+	if err := json.Unmarshal([]byte(body), &view); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if len(view.Sites) != len(sites) {
+		t.Fatalf("cluster view has %d sites, want %d", len(view.Sites), len(sites))
+	}
+	if !sort.SliceIsSorted(view.Sites, func(i, j int) bool { return view.Sites[i].Site < view.Sites[j].Site }) {
+		t.Fatal("cluster view sites not sorted")
+	}
+	var queries int64
+	for _, sv := range view.Sites {
+		queries += sv.Stats.Queries
+	}
+	if queries == 0 {
+		t.Fatal("no site reported serving the query")
+	}
+
+	resp, body = adminGet(t, srv, "/debug/cluster?format=text")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("text format status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("text format content type %q", ct)
+	}
+	if !strings.Contains(body, "SITE") || !strings.Contains(body, "root-site") {
+		t.Fatalf("text table missing header or site:\n%s", body)
+	}
+}
+
+// TestDebugClusterFederation: an admin with peers merges their sites into
+// one view (local snapshot winning dedup), reports per-peer status, and
+// ?scope=local suppresses the fan-out.
+func TestDebugClusterFederation(t *testing.T) {
+	_, _, sites, _, _ := deploy(t)
+	local := NewAdmin(metrics.NewRegistry())
+	remote := NewAdmin(metrics.NewRegistry())
+	for name, s := range sites {
+		if name == "root-site" {
+			local.AddSite(s)
+		} else {
+			remote.AddSite(s)
+		}
+		// root-site is also added to the remote admin: the dedup rule says
+		// the local snapshot wins and the site appears once.
+		if name == "root-site" {
+			remote.AddSite(s)
+		}
+	}
+	remoteAddr, err := remote.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Shutdown(context.Background())
+	local.SetPeers(map[string]string{
+		"city-pittsburgh": remoteAddr,
+		"dead-peer":       "127.0.0.1:1",
+	})
+	srv := httptest.NewServer(local.Handler())
+	defer srv.Close()
+
+	resp, body := adminGet(t, srv, "/debug/cluster")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/cluster status %d", resp.StatusCode)
+	}
+	var view ClusterView
+	if err := json.Unmarshal([]byte(body), &view); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if len(view.Sites) != len(sites) {
+		names := make([]string, 0, len(view.Sites))
+		for _, sv := range view.Sites {
+			names = append(names, sv.Site)
+		}
+		t.Fatalf("federated view has %d sites (%v), want %d", len(view.Sites), names, len(sites))
+	}
+	seen := map[string]int{}
+	for _, sv := range view.Sites {
+		seen[sv.Site]++
+	}
+	if seen["root-site"] != 1 {
+		t.Fatalf("root-site appears %d times, want 1 (dedup)", seen["root-site"])
+	}
+	if st := view.Peers["city-pittsburgh"]; st.Error != "" || st.Sites != len(sites)-1 {
+		t.Fatalf("live peer status %+v, want %d sites and no error", st, len(sites)-1)
+	}
+	if st := view.Peers["dead-peer"]; st.Error == "" {
+		t.Fatalf("dead peer reported no error: %+v", st)
+	}
+
+	resp, body = adminGet(t, srv, "/debug/cluster?scope=local")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scope=local status %d", resp.StatusCode)
+	}
+	view = ClusterView{}
+	if err := json.Unmarshal([]byte(body), &view); err != nil {
+		t.Fatal(err)
+	}
+	if len(view.Sites) != 1 || view.Sites[0].Site != "root-site" || len(view.Peers) != 0 {
+		t.Fatalf("scope=local returned %+v, want only root-site and no peer fan-out", view)
+	}
+}
+
+// TestPprofAndProfileRoutes: the pprof mux answers, and
+// /debug/profile/latest is 404 until a continuous profiler has a sample,
+// then serves it as a binary profile.
+func TestPprofAndProfileRoutes(t *testing.T) {
+	a := NewAdmin(metrics.NewRegistry())
+	srv := httptest.NewServer(a.Handler())
+	defer srv.Close()
+
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline"} {
+		resp, _ := adminGet(t, srv, path)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status %d", path, resp.StatusCode)
+		}
+	}
+	resp, _ := adminGet(t, srv, "/debug/profile/latest")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("latest profile without profiler: status %d, want 404", resp.StatusCode)
+	}
+
+	p := StartContinuousProfiler(100*time.Millisecond, 50*time.Millisecond)
+	defer p.Stop()
+	a.AttachProfiler(p)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if data, _ := p.Latest(); len(data) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("continuous profiler produced no sample within 5s")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	resp, body := adminGet(t, srv, "/debug/profile/latest")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("latest profile status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("profile content type %q", ct)
+	}
+	if resp.Header.Get("X-Profile-Time") == "" || len(body) == 0 {
+		t.Fatal("profile sample empty or unstamped")
+	}
+}

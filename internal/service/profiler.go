@@ -1,0 +1,96 @@
+package service
+
+import (
+	"bytes"
+	"runtime/pprof"
+	"sync"
+	"time"
+)
+
+// ContinuousProfiler takes a short CPU-profile sample once per interval
+// and keeps the most recent one in memory, so a production daemon always
+// has a fresh profile on hand (/debug/profile/latest) without anyone
+// having to attach a profiler after a problem starts. The duty cycle is
+// sample/interval — the default one second per minute costs well under a
+// percent of one core.
+type ContinuousProfiler struct {
+	interval time.Duration
+	sample   time.Duration
+	stop     chan struct{}
+	done     chan struct{}
+
+	mu     sync.Mutex
+	latest []byte
+	at     time.Time
+}
+
+// StartContinuousProfiler begins sampling: one sample-long CPU profile
+// every interval. sample <= 0 defaults to one second; sample is clamped
+// below interval so the profiler cannot run back-to-back.
+func StartContinuousProfiler(interval, sample time.Duration) *ContinuousProfiler {
+	if sample <= 0 {
+		sample = time.Second
+	}
+	if interval < 2*sample {
+		interval = 2 * sample
+	}
+	p := &ContinuousProfiler{
+		interval: interval,
+		sample:   sample,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go p.loop()
+	return p
+}
+
+func (p *ContinuousProfiler) loop() {
+	defer close(p.done)
+	ticker := time.NewTicker(p.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-ticker.C:
+			p.takeSample()
+		}
+	}
+}
+
+func (p *ContinuousProfiler) takeSample() {
+	var buf bytes.Buffer
+	// StartCPUProfile fails when another profile is running (an operator
+	// hitting /debug/pprof/profile); skip this tick rather than fight.
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		return
+	}
+	select {
+	case <-p.stop:
+	case <-time.After(p.sample):
+	}
+	pprof.StopCPUProfile()
+	p.mu.Lock()
+	p.latest = buf.Bytes()
+	p.at = time.Now()
+	p.mu.Unlock()
+}
+
+// Latest returns the most recent sample and when it was taken; nil when
+// no sample has completed yet.
+func (p *ContinuousProfiler) Latest() ([]byte, time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.latest, p.at
+}
+
+// Stop ends sampling and waits for the loop (and any in-flight sample)
+// to finish.
+func (p *ContinuousProfiler) Stop() {
+	select {
+	case <-p.stop:
+	default:
+		close(p.stop)
+	}
+	<-p.done
+}

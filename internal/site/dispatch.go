@@ -20,6 +20,7 @@ import (
 type subResult struct {
 	frag  *xmldb.Node
 	downs []string // remote site's unreachable paths (partial answers compose)
+	bytes int      // wire size of the fetched fragment (freshness ledger)
 	span  *trace.Span
 	err   error
 }
@@ -32,6 +33,7 @@ type flight struct {
 	done  chan struct{}
 	frag  *xmldb.Node
 	downs []string
+	bytes int
 	err   error
 }
 
@@ -70,7 +72,7 @@ func (g *flightGroup) finish(key string, f *flight, r subResult) {
 	g.mu.Lock()
 	delete(g.flights, key)
 	g.mu.Unlock()
-	f.frag, f.downs, f.err = r.frag, r.downs, r.err
+	f.frag, f.downs, f.bytes, f.err = r.frag, r.downs, r.bytes, r.err
 	close(f.done)
 }
 
@@ -183,9 +185,9 @@ func (s *Site) dispatchSubqueries(ctx context.Context, fresh []qeg.Subquery, tra
 
 	var wg sync.WaitGroup
 	single := func(p pendingSub) {
-		frag, downs, span, err := s.fetchSubquery(ctx, p.sq, traceID)
+		frag, downs, nbytes, span, err := s.fetchSubquery(ctx, p.sq, traceID)
 		frag = s.cacheFetched(frag, &err)
-		results[p.idx] = subResult{frag: frag, downs: downs, span: span, err: err}
+		results[p.idx] = subResult{frag: frag, downs: downs, bytes: nbytes, span: span, err: err}
 		finishLeader(p.idx)
 	}
 
@@ -255,9 +257,9 @@ func (s *Site) dispatchSubqueries(ctx context.Context, fresh []qeg.Subquery, tra
 					// The flight failed — possibly the leader's deadline,
 					// not ours. Fall back to a private fetch rather than
 					// inheriting the leader's failure.
-					frag, downs, span, err := s.fetchSubquery(ctx, w.sq, traceID)
+					frag, downs, nbytes, span, err := s.fetchSubquery(ctx, w.sq, traceID)
 					frag = s.cacheFetched(frag, &err)
-					results[w.idx] = subResult{frag: frag, downs: downs, span: span, err: err}
+					results[w.idx] = subResult{frag: frag, downs: downs, bytes: nbytes, span: span, err: err}
 					return
 				}
 				s.Metrics.Coalesced.Inc()
@@ -267,7 +269,7 @@ func (s *Site) dispatchSubqueries(ctx context.Context, fresh []qeg.Subquery, tra
 					// the leader's subtree would mix trace IDs in one tree.
 					span = &trace.Span{TraceID: traceID, Site: s.cfg.Name, Query: w.sq.Query, Op: "coalesced"}
 				}
-				results[w.idx] = subResult{frag: w.fl.frag, downs: w.fl.downs, span: span}
+				results[w.idx] = subResult{frag: w.fl.frag, downs: w.fl.downs, bytes: w.fl.bytes, span: span}
 			case <-ctx.Done():
 				err := fmt.Errorf("site %s: awaiting coalesced fetch: %w", s.cfg.Name, ctx.Err())
 				results[w.idx] = subResult{err: err, span: errSpan(traceID, s.cfg.Name, w.sq.Query, err)}
@@ -375,7 +377,7 @@ func (s *Site) sendBatch(ctx context.Context, owner string, piece []pendingSub, 
 				results[p.idx] = subResult{err: perr}
 			} else {
 				frag = s.cacheFetched(frag, &perr)
-				results[p.idx] = subResult{frag: frag, downs: e.Unreachable, err: perr}
+				results[p.idx] = subResult{frag: frag, downs: e.Unreachable, bytes: len(e.Fragment), err: perr}
 			}
 		}
 		finishLeader(p.idx)

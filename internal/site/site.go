@@ -105,6 +105,17 @@ type Config struct {
 	// copy-on-write transaction (see cache.go); zero leaves the cache
 	// unbounded, the pre-budget behavior. Only meaningful with Caching.
 	CacheBudgetBytes int64
+	// DisableFreshnessLedger turns off per-answer provenance accounting
+	// (the qeg staleness ledger, FreshnessReport spans and the staleness/
+	// provenance metrics). The ledger is on by default; this exists as the
+	// baseline arm of irisbench -exp obs-overhead and as an escape hatch.
+	DisableFreshnessLedger bool
+	// SlowQueryThreshold, when positive, logs a structured warning (with
+	// trace ID) for every query whose total handling time reaches it.
+	SlowQueryThreshold time.Duration
+	// StaleAnswerThreshold, when positive, logs a structured warning when
+	// an answer used a cached local-information unit at least this old.
+	StaleAnswerThreshold time.Duration
 }
 
 // DefaultBatchByteCap bounds one batch message's encoded payload (256 KiB):
@@ -140,7 +151,24 @@ type Metrics struct {
 	Evictions metrics.Counter
 	// BatchSize is the per-batch-message entry-count distribution.
 	BatchSize *metrics.SizeHistogram
-	Breakdown *metrics.Breakdown
+	// AnswerStaleness is the per-answer maximum cached-unit age in
+	// seconds (0 for answers assembled purely from owned data) — the
+	// headline "how stale are the answers we serve" distribution.
+	AnswerStaleness *metrics.SizeHistogram
+	// CacheAge is the per-answer mean age of contributing cached units.
+	CacheAge *metrics.SizeHistogram
+	// PredicateMargin is the per-answer minimum consistency-predicate
+	// margin: how many seconds of extra staleness the answer could have
+	// absorbed before a freshness predicate failed. Observed only for
+	// answers whose evaluation checked a measurable predicate.
+	PredicateMargin *metrics.SizeHistogram
+	// AnswerCacheBytes/AnswerOwnedBytes/AnswerFetchedBytes split the
+	// local-information bytes of served answers by provenance: cached
+	// copies, owned units, and fragments fetched from other sites.
+	AnswerCacheBytes   metrics.Counter
+	AnswerOwnedBytes   metrics.Counter
+	AnswerFetchedBytes metrics.Counter
+	Breakdown          *metrics.Breakdown
 }
 
 // Register registers every counter under the site label, plus live gauges
@@ -162,6 +190,12 @@ func (s *Site) Register(r *metrics.Registry) {
 	r.RegisterCounter("irisnet_coalesced_subqueries_total", "Subqueries answered by joining an in-flight fetch.", l, &m.Coalesced)
 	r.RegisterCounter("irisnet_cache_evictions_total", "Cached local-information units evicted by the budget policy.", l, &m.Evictions)
 	r.RegisterSizeHistogram("irisnet_subquery_batch_size", "Entries per batched subquery message.", l, m.BatchSize)
+	r.RegisterSizeHistogram("irisnet_answer_staleness_seconds", "Per-answer maximum age of contributing cached units.", l, m.AnswerStaleness)
+	r.RegisterSizeHistogram("irisnet_cache_age_seconds", "Per-answer mean age of contributing cached units.", l, m.CacheAge)
+	r.RegisterSizeHistogram("irisnet_predicate_margin_seconds", "Per-answer minimum consistency-predicate margin.", l, m.PredicateMargin)
+	r.RegisterCounter("irisnet_answer_cache_bytes_total", "Answer bytes served from cached local information.", l, &m.AnswerCacheBytes)
+	r.RegisterCounter("irisnet_answer_owned_bytes_total", "Answer bytes served from owned local information.", l, &m.AnswerOwnedBytes)
+	r.RegisterCounter("irisnet_answer_fetched_bytes_total", "Answer bytes fetched from other sites.", l, &m.AnswerFetchedBytes)
 	r.GaugeFunc("irisnet_cache_bytes", "Accounted bytes of cached (non-owned) local-information units.", l,
 		func() float64 { return float64(s.CacheBytes()) })
 	r.GaugeFunc("irisnet_cache_budget_bytes", "Configured cache byte budget (0 = unbounded).", l,
@@ -250,6 +284,9 @@ func New(cfg Config, rootName, rootID string) *Site {
 	})
 	s.Metrics.Breakdown = metrics.NewBreakdown()
 	s.Metrics.BatchSize = metrics.NewSizeHistogram(0)
+	s.Metrics.AnswerStaleness = metrics.NewSizeHistogram(0)
+	s.Metrics.CacheAge = metrics.NewSizeHistogram(0)
+	s.Metrics.PredicateMargin = metrics.NewSizeHistogram(0)
 	s.call = &transport.Caller{
 		Net:        cfg.Net,
 		Policy:     cfg.Retry,
@@ -335,8 +372,52 @@ type DebugInfo struct {
 	Site            string            `json:"site"`
 	StoreNodes      int               `json:"storeNodes"`
 	CachedFragments int               `json:"cachedFragments"`
+	CacheBytes      int64             `json:"cacheBytes"`
+	CacheBudget     int64             `json:"cacheBudgetBytes,omitempty"`
 	Owned           []string          `json:"owned"`
 	Forwarding      map[string]string `json:"forwarding,omitempty"`
+}
+
+// Stats is a point-in-time snapshot of a site's counters, serialized into
+// the /debug/cluster federated view so a whole deployment's serving and
+// freshness behavior is scrapeable from any admin endpoint.
+type Stats struct {
+	Queries            int64   `json:"queries"`
+	Subqueries         int64   `json:"subqueries"`
+	Updates            int64   `json:"updates"`
+	CacheHits          int64   `json:"cacheHits"`
+	CacheMisses        int64   `json:"cacheMisses"`
+	Forwards           int64   `json:"forwards"`
+	Retries            int64   `json:"retries"`
+	PartialAnswers     int64   `json:"partialAnswers"`
+	Coalesced          int64   `json:"coalesced"`
+	Evictions          int64   `json:"evictions"`
+	AnswerCacheBytes   int64   `json:"answerCacheBytes"`
+	AnswerOwnedBytes   int64   `json:"answerOwnedBytes"`
+	AnswerFetchedBytes int64   `json:"answerFetchedBytes"`
+	MaxStalenessSec    float64 `json:"maxStalenessSec"`
+}
+
+// Stats snapshots the site's counters; reads are atomic per counter, not
+// mutually consistent, which is fine for an observability view.
+func (s *Site) Stats() Stats {
+	m := &s.Metrics
+	return Stats{
+		Queries:            m.Queries.Value(),
+		Subqueries:         m.Subqueries.Value(),
+		Updates:            m.Updates.Value(),
+		CacheHits:          m.CacheHits.Value(),
+		CacheMisses:        m.CacheMisses.Value(),
+		Forwards:           m.Forwards.Value(),
+		Retries:            m.Retries.Value(),
+		PartialAnswers:     m.PartialAnswers.Value(),
+		Coalesced:          m.Coalesced.Value(),
+		Evictions:          m.Evictions.Value(),
+		AnswerCacheBytes:   m.AnswerCacheBytes.Value(),
+		AnswerOwnedBytes:   m.AnswerOwnedBytes.Value(),
+		AnswerFetchedBytes: m.AnswerFetchedBytes.Value(),
+		MaxStalenessSec:    m.AnswerStaleness.Quantile(1),
+	}
 }
 
 // Debug snapshots the site's observability view from one published
@@ -347,6 +428,8 @@ func (s *Site) Debug() DebugInfo {
 		Site:            s.cfg.Name,
 		StoreNodes:      st.store.Size(),
 		CachedFragments: st.store.CachedCount(),
+		CacheBytes:      int64(s.CacheBytes()),
+		CacheBudget:     s.cfg.CacheBudgetBytes,
 		Owned:           make([]string, 0, len(st.owned)),
 	}
 	for k := range st.owned {
@@ -475,6 +558,15 @@ func (s *Site) handleQuery(ctx context.Context, msg *Message, reqBytes int, pinn
 	askedAny := false
 	fanout := 0
 
+	// Staleness ledger: prov aggregates provenance across plans and gather
+	// rounds; only the rounds whose local result actually merges into the
+	// answer contribute (intermediate nested rounds re-read the same units).
+	var prov *qeg.Provenance
+	if !s.cfg.DisableFreshnessLedger {
+		prov = qeg.NewProvenance(s.cfg.Clock())
+	}
+	var fetchedBytes int64
+
 	var execTime, commTime time.Duration
 	for _, plan := range plans {
 		// One atomic load pins this plan's snapshot; evaluation runs
@@ -496,6 +588,9 @@ func (s *Site) handleQuery(ctx context.Context, msg *Message, reqBytes int, pinn
 			}
 			var res *qeg.Result
 			var evalErr error
+			if prov != nil {
+				opts.Prov = qeg.NewProvenance(prov.Now())
+			}
 			te := time.Now()
 			s.cpu.Do(func() {
 				if work != nil {
@@ -534,6 +629,9 @@ func (s *Site) handleQuery(ctx context.Context, msg *Message, reqBytes int, pinn
 				if evalErr != nil {
 					return errorMessage(fmt.Errorf("site %s: merging local result: %w", s.cfg.Name, evalErr))
 				}
+				if prov != nil {
+					prov.Merge(opts.Prov)
+				}
 				break
 			}
 			askedAny = true
@@ -555,6 +653,9 @@ func (s *Site) handleQuery(ctx context.Context, msg *Message, reqBytes int, pinn
 			}
 			for i, r := range results {
 				sub := r.frag
+				if r.err == nil {
+					fetchedBytes += int64(r.bytes)
+				}
 				if r.err != nil {
 					// Partial answer: the target's owner did not respond
 					// within the remaining budget. Splice an unreachable
@@ -602,6 +703,9 @@ func (s *Site) handleQuery(ctx context.Context, msg *Message, reqBytes int, pinn
 				if mergeErr != nil {
 					return errorMessage(fmt.Errorf("site %s: merging local result: %w", s.cfg.Name, mergeErr))
 				}
+				if prov != nil {
+					prov.Merge(opts.Prov)
+				}
 				break
 			}
 		}
@@ -618,6 +722,19 @@ func (s *Site) handleQuery(ctx context.Context, msg *Message, reqBytes int, pinn
 	}
 	s.Metrics.Breakdown.Add("execute-qeg", execTime)
 	s.Metrics.Breakdown.Add("communication", commTime)
+
+	var freshness *trace.FreshnessReport
+	if prov != nil {
+		freshness = freshnessReport(prov, fetchedBytes)
+		s.Metrics.AnswerStaleness.Observe(prov.AgeMax)
+		s.Metrics.CacheAge.Observe(prov.MeanAge())
+		if m, ok := prov.MinMargin(); ok {
+			s.Metrics.PredicateMargin.Observe(m)
+		}
+		s.Metrics.AnswerCacheBytes.Add(prov.CachedBytes)
+		s.Metrics.AnswerOwnedBytes.Add(prov.OwnedBytes)
+		s.Metrics.AnswerFetchedBytes.Add(fetchedBytes)
+	}
 
 	var out string
 	s.cpu.Do(func() {
@@ -645,6 +762,7 @@ func (s *Site) handleQuery(ctx context.Context, msg *Message, reqBytes int, pinn
 		span.BytesOut = len(out)
 		span.Partial = len(res.Unreachable) > 0
 		span.Unreachable = res.Unreachable
+		span.Freshness = freshness
 		finishSpan(span, stats)
 		res.Span = span
 	}
@@ -652,7 +770,56 @@ func (s *Site) handleQuery(ctx context.Context, msg *Message, reqBytes int, pinn
 		slog.String("trace_id", msg.TraceID), slog.Duration("dur", total),
 		slog.Bool("cache_hit", !askedAny), slog.Int("fanout", fanout),
 		slog.Int("unreachable", len(res.Unreachable)))
+	if s.cfg.SlowQueryThreshold > 0 && total >= s.cfg.SlowQueryThreshold {
+		s.log.LogAttrs(ctx, slog.LevelWarn, "slow query",
+			slog.String("trace_id", msg.TraceID), slog.String("query", clipQuery(msg.Query)),
+			slog.Duration("dur", total), slog.Duration("threshold", s.cfg.SlowQueryThreshold),
+			slog.Bool("cache_hit", !askedAny), slog.Int("fanout", fanout))
+	}
+	if prov != nil && s.cfg.StaleAnswerThreshold > 0 && prov.AgeMax >= s.cfg.StaleAnswerThreshold.Seconds() {
+		attrs := []slog.Attr{
+			slog.String("trace_id", msg.TraceID), slog.String("query", clipQuery(msg.Query)),
+			slog.Float64("max_age_sec", prov.AgeMax), slog.Float64("mean_age_sec", prov.MeanAge()),
+			slog.Int("cached_units", prov.CachedUnits),
+		}
+		if m, ok := prov.MinMargin(); ok {
+			attrs = append(attrs, slog.Float64("min_margin_sec", m))
+		}
+		s.log.LogAttrs(ctx, slog.LevelWarn, "stale answer", attrs...)
+	}
 	return res
+}
+
+// clipQuery bounds query text in log records.
+func clipQuery(q string) string {
+	if len(q) <= 96 {
+		return q
+	}
+	return q[:95] + "…"
+}
+
+// freshnessReport converts the evaluation ledger into the wire-shaped
+// report the span carries, sorting margins for deterministic output.
+func freshnessReport(p *qeg.Provenance, fetchedBytes int64) *trace.FreshnessReport {
+	fr := &trace.FreshnessReport{
+		OwnedUnits:   p.OwnedUnits,
+		CachedUnits:  p.CachedUnits,
+		OwnedBytes:   p.OwnedBytes,
+		CachedBytes:  p.CachedBytes,
+		FetchedBytes: fetchedBytes,
+		AgedUnits:    p.AgedUnits,
+		MeanAgeSec:   p.MeanAge(),
+		MaxAgeSec:    p.AgeMax,
+		MarginChecks: p.MarginChecks,
+	}
+	if len(p.Margins) > 0 {
+		fr.Margins = make([]trace.PredicateMargin, 0, len(p.Margins))
+		for pred, st := range p.Margins {
+			fr.Margins = append(fr.Margins, trace.PredicateMargin{Pred: pred, Checks: st.Checks, MinSec: st.Min})
+		}
+		sort.Slice(fr.Margins, func(i, j int) bool { return fr.Margins[i].Pred < fr.Margins[j].Pred })
+	}
+	return fr
 }
 
 // mergeCache folds a sub-answer into the site database through the
@@ -712,7 +879,7 @@ func (s *Site) markUnreachable(ans *fragment.Store, set map[string]bool, p xmldb
 // tree still shows where a partial answer lost its subtree). CPU is
 // consumed for encode/decode; the network wait itself is not billed to
 // this site's capacity.
-func (s *Site) fetchSubquery(ctx context.Context, sq qeg.Subquery, traceID string) (*xmldb.Node, []string, *trace.Span, error) {
+func (s *Site) fetchSubquery(ctx context.Context, sq qeg.Subquery, traceID string) (*xmldb.Node, []string, int, *trace.Span, error) {
 	s.Metrics.Subqueries.Inc()
 	s.Metrics.SubqueryRPCs.Inc()
 	errSpan := func(site string, err error) *trace.Span {
@@ -724,7 +891,7 @@ func (s *Site) fetchSubquery(ctx context.Context, sq qeg.Subquery, traceID strin
 	owner, err := s.cfg.DNS.Resolve(sq.Target)
 	if err != nil {
 		err = fmt.Errorf("site %s: resolving %s: %w", s.cfg.Name, sq.Target, err)
-		return nil, nil, errSpan(sq.Target.String(), err), err
+		return nil, nil, 0, errSpan(sq.Target.String(), err), err
 	}
 	var payload []byte
 	s.cpu.Do(func() {
@@ -735,11 +902,12 @@ func (s *Site) fetchSubquery(ctx context.Context, sq qeg.Subquery, traceID strin
 	respB, err := s.call.Call(ctx, owner, payload)
 	if err != nil {
 		err = fmt.Errorf("site %s: calling %s: %w", s.cfg.Name, owner, err)
-		return nil, nil, errSpan(owner, err), err
+		return nil, nil, 0, errSpan(owner, err), err
 	}
 	var frag *xmldb.Node
 	var unreachable []string
 	var childSpan *trace.Span
+	var fragBytes int
 	var derr error
 	s.cpu.Do(func() {
 		var resp *Message
@@ -753,13 +921,14 @@ func (s *Site) fetchSubquery(ctx context.Context, sq qeg.Subquery, traceID strin
 		}
 		unreachable = resp.Unreachable
 		childSpan = resp.Span
+		fragBytes = len(resp.Fragment)
 		frag, derr = xmldb.ParseString(resp.Fragment)
 	})
 	if derr != nil {
 		derr = fmt.Errorf("site %s: subanswer from %s: %w", s.cfg.Name, owner, derr)
-		return nil, nil, errSpan(owner, derr), derr
+		return nil, nil, 0, errSpan(owner, derr), derr
 	}
-	return frag, unreachable, childSpan, nil
+	return frag, unreachable, fragBytes, childSpan, nil
 }
 
 // handleUpdate applies a sensor update to an owned node, stamping it with

@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFreshnessMerge(t *testing.T) {
+	a := &FreshnessReport{
+		OwnedUnits: 2, OwnedBytes: 200,
+		CachedUnits: 1, CachedBytes: 40, FetchedBytes: 10,
+		AgedUnits: 1, MeanAgeSec: 10, MaxAgeSec: 10,
+		MarginChecks: 1,
+		Margins:      []PredicateMargin{{Pred: "p", Checks: 1, MinSec: 40}},
+	}
+	b := &FreshnessReport{
+		CachedUnits: 2, CachedBytes: 60,
+		AgedUnits: 2, MeanAgeSec: 40, MaxAgeSec: 70,
+		MarginChecks: 2,
+		Margins: []PredicateMargin{
+			{Pred: "a", Checks: 1, MinSec: 5},
+			{Pred: "p", Checks: 1, MinSec: 12},
+		},
+	}
+	a.Merge(b)
+	if a.OwnedUnits != 2 || a.CachedUnits != 3 || a.CachedBytes != 100 || a.FetchedBytes != 10 {
+		t.Fatalf("counts wrong: %+v", a)
+	}
+	// Weighted mean: (1*10 + 2*40) / 3 = 30.
+	if a.AgedUnits != 3 || math.Abs(a.MeanAgeSec-30) > 1e-9 || a.MaxAgeSec != 70 {
+		t.Fatalf("ages wrong: %+v", a)
+	}
+	if a.MarginChecks != 3 || len(a.Margins) != 2 {
+		t.Fatalf("margins wrong: %+v", a.Margins)
+	}
+	// Sorted by predicate text, minima and check counts folded.
+	if a.Margins[0].Pred != "a" || a.Margins[0].MinSec != 5 {
+		t.Fatalf("margin[0] = %+v", a.Margins[0])
+	}
+	if a.Margins[1].Pred != "p" || a.Margins[1].MinSec != 12 || a.Margins[1].Checks != 2 {
+		t.Fatalf("margin[1] = %+v", a.Margins[1])
+	}
+	if m, ok := a.MinMargin(); !ok || m != 5 {
+		t.Fatalf("min margin = %v (%v)", m, ok)
+	}
+}
+
+func TestFreshnessSummary(t *testing.T) {
+	if s := (&FreshnessReport{}).Summary(); s != "" {
+		t.Fatalf("empty report summarised as %q", s)
+	}
+	var nilReport *FreshnessReport
+	if s := nilReport.Summary(); s != "" {
+		t.Fatalf("nil report summarised as %q", s)
+	}
+	f := &FreshnessReport{
+		OwnedUnits: 2, CachedUnits: 3, OwnedBytes: 2310, CachedBytes: 412, FetchedBytes: 96,
+		AgedUnits: 3, MaxAgeSec: 12, MeanAgeSec: 6,
+		MarginChecks: 3, Margins: []PredicateMargin{{Pred: "p", Checks: 3, MinSec: 18}},
+	}
+	s := f.Summary()
+	for _, want := range []string{"cached=3 owned=2", "max-age=12.0s", "margin>=18.0s", "bytes c/o/f=412/2310/96"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+}
+
+// TestAggregateFreshness rolls hop reports up a span tree; spans without
+// a report contribute nothing, and a report-free tree aggregates to nil.
+func TestAggregateFreshness(t *testing.T) {
+	root := &Span{TraceID: "t", Site: "root",
+		Freshness: &FreshnessReport{CachedUnits: 1, CachedBytes: 10, AgedUnits: 1, MeanAgeSec: 5, MaxAgeSec: 5}}
+	mid := &Span{TraceID: "t", Site: "city"} // no ledger at this hop
+	leaf := &Span{TraceID: "t", Site: "nb",
+		Freshness: &FreshnessReport{OwnedUnits: 4, OwnedBytes: 400}}
+	mid.Children = append(mid.Children, leaf)
+	root.Children = append(root.Children, mid)
+
+	got := AggregateFreshness(root)
+	if got == nil {
+		t.Fatal("aggregate is nil")
+	}
+	if got.CachedUnits != 1 || got.OwnedUnits != 4 || got.OwnedBytes != 400 || got.MaxAgeSec != 5 {
+		t.Fatalf("aggregate wrong: %+v", got)
+	}
+	// The source reports must not be mutated by aggregation.
+	if root.Freshness.OwnedUnits != 0 {
+		t.Fatal("aggregation mutated a hop's report")
+	}
+	if got := AggregateFreshness(&Span{TraceID: "t", Site: "solo"}); got != nil {
+		t.Fatalf("report-free tree aggregated to %+v", got)
+	}
+}
+
+// TestAttachChildConcurrent exercises concurrent child attachment (the
+// batch handler assembles one parent span from many goroutines); run
+// under -race this is the regression test for unsynchronised appends.
+func TestAttachChildConcurrent(t *testing.T) {
+	root := &Span{TraceID: "t", Site: "root"}
+	const workers, per = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				root.AttachChild(&Span{TraceID: "t", Site: "child"})
+			}
+			root.AttachChild(nil) // nil children are ignored
+		}(w)
+	}
+	wg.Wait()
+	if len(root.Children) != workers*per {
+		t.Fatalf("attached %d children, want %d", len(root.Children), workers*per)
+	}
+}
+
+// TestSpanFreshnessJSON: the report travels inside the span's wire JSON,
+// omitted when absent, and the render line carries the summary.
+func TestSpanFreshnessJSON(t *testing.T) {
+	s := &Span{TraceID: "t", Site: "root", DurationUS: 1200,
+		Freshness: &FreshnessReport{CachedUnits: 2, CachedBytes: 64, AgedUnits: 2, MeanAgeSec: 3, MaxAgeSec: 4}}
+	buf, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Span
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Freshness == nil || back.Freshness.CachedUnits != 2 || back.Freshness.MaxAgeSec != 4 {
+		t.Fatalf("freshness did not survive the wire: %+v", back.Freshness)
+	}
+	if !strings.Contains(Render(s), "fresh[") {
+		t.Fatalf("render missing freshness: %s", Render(s))
+	}
+	bare, err := json.Marshal(&Span{TraceID: "t", Site: "root"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(bare), "freshness") {
+		t.Fatalf("ledger-free span leaks a freshness field: %s", bare)
+	}
+}

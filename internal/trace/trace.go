@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -70,9 +71,30 @@ type Span struct {
 	Unreachable []string `json:"unreachable,omitempty"`
 	// Error is set on spans for subqueries that failed outright.
 	Error string `json:"error,omitempty"`
+	// Freshness is the hop's staleness ledger: how much of the answer
+	// came from cache vs owned data vs remote fetches, how old the cached
+	// units were, and the margins on consistency predicates. Present only
+	// when the serving site had its freshness ledger enabled.
+	Freshness *FreshnessReport `json:"freshness,omitempty"`
 	// Children are the spans of the subqueries this hop issued, in the
 	// order the gather loop spliced them.
 	Children []*Span `json:"children,omitempty"`
+
+	// mu guards Children during concurrent AttachChild calls; the zero
+	// value is ready to use and the field never travels on the wire.
+	mu sync.Mutex
+}
+
+// AttachChild appends c under s. Unlike appending to Children directly it
+// is safe when multiple goroutines assemble one parent concurrently (the
+// batch handler fans entries out); nil children are ignored.
+func (s *Span) AttachChild(c *Span) {
+	if c == nil {
+		return
+	}
+	s.mu.Lock()
+	s.Children = append(s.Children, c)
+	s.mu.Unlock()
 }
 
 // Duration returns the hop's wall time.
@@ -184,6 +206,11 @@ func describe(s *Span) string {
 	}
 	if s.Partial {
 		parts = append(parts, fmt.Sprintf("PARTIAL (%d unreachable)", len(s.Unreachable)))
+	}
+	if s.Freshness != nil {
+		if fs := s.Freshness.Summary(); fs != "" {
+			parts = append(parts, "fresh["+fs+"]")
+		}
 	}
 	if len(s.Stages) > 0 {
 		ss := make([]string, 0, len(s.Stages))
