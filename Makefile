@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci build fmt vet lint test race-stress bench-smoke metrics-smoke cache-smoke localeval-smoke perf-gate
+.PHONY: ci build fmt vet lint test race-stress bench-smoke metrics-smoke cache-smoke localeval-smoke aggregate-smoke perf-gate
 
-ci: build fmt lint test race-stress bench-smoke metrics-smoke cache-smoke localeval-smoke perf-gate
+ci: build fmt lint test race-stress bench-smoke metrics-smoke cache-smoke localeval-smoke aggregate-smoke perf-gate
 
 build:
 	$(GO) build ./...
@@ -65,9 +65,16 @@ cache-smoke:
 localeval-smoke:
 	./scripts/localeval_smoke.sh
 
+# Aggregate-pushdown experiment in smoke mode: short arms, but the
+# acceptance comparisons (>=10x fewer bytes per query and >=2x better p50
+# than the raw-gather baseline) are still computed and enforced.
+aggregate-smoke:
+	./scripts/aggregate_smoke.sh
+
 # Benchmarks HEAD against its merge base and fails on a >15% median ns/op
 # regression in the tier-1 benchmarks (BenchmarkSnapshotQuery,
-# BenchmarkSerialize). benchstat renders the comparison when installed;
-# cmd/benchgate decides the verdict either way.
+# BenchmarkSerialize; BenchmarkAggregateCompute is watched once both sides
+# have it). benchstat renders the comparison when installed; cmd/benchgate
+# decides the verdict either way.
 perf-gate:
 	./scripts/perf_gate.sh

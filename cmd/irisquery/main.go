@@ -1,9 +1,13 @@
 // Command irisquery poses an XPath query against a running TCP deployment
-// and prints the answer subtrees.
+// and prints the answer subtrees. Aggregate queries — count/sum/avg/min/max
+// over a location path — are detected from the query text and answered via
+// in-network partial aggregation, printing the single value instead of
+// subtrees.
 //
 // Usage:
 //
 //	irisquery -topology topo.json "/usRegion[@id='NE']/.../parkingSpace[available='yes']"
+//	irisquery -topology topo.json "count(/usRegion[@id='NE']/.../parkingSpace)"
 //	irisquery -topology topo.json -route "/usRegion[@id='NE']/..."   # show routing only
 //	irisquery -topology topo.json -trace "/usRegion[@id='NE']/..."   # EXPLAIN-style trace tree
 package main
@@ -17,6 +21,7 @@ import (
 	"irisnet/internal/deploy"
 	"irisnet/internal/service"
 	"irisnet/internal/trace"
+	"irisnet/internal/xpath"
 )
 
 func main() {
@@ -36,11 +41,23 @@ func main() {
 	fatal(err)
 	fe := deploy.NewFrontend(topo)
 
+	aggQ, isAgg, err := xpath.ParseAggregate(query)
+	fatal(err)
+
 	if *routeOnly {
-		entry, lca, err := fe.RouteOf(query)
+		routed := query
+		if isAgg {
+			// Aggregates route by their inner path's LCA.
+			routed = aggQ.InnerSource()
+		}
+		entry, lca, err := fe.RouteOf(routed)
 		fatal(err)
 		fmt.Printf("LCA:   %s\n", lca)
 		fmt.Printf("entry: %s\n", entry)
+		return
+	}
+	if isAgg {
+		runAggregate(fe, query, *traceFlag)
 		return
 	}
 	if *rawFlag {
@@ -76,13 +93,59 @@ func main() {
 	reportPartial(ans)
 }
 
+// runAggregate answers an aggregate-shaped query via in-network partial
+// aggregation and prints the value plus any partial-answer markers.
+func runAggregate(fe *service.Frontend, query string, traced bool) {
+	var (
+		ans  *service.AggregateAnswer
+		span *trace.Span
+		err  error
+	)
+	if traced {
+		ans, span, err = fe.QueryAggregateTrace(context.Background(), query)
+	} else {
+		ans, err = fe.QueryAggregate(query)
+	}
+	fatal(err)
+	if span != nil {
+		fmt.Println(trace.Render(span))
+		if fr := trace.AggregateFreshness(span); fr != nil {
+			if s := fr.Summary(); s != "" {
+				fmt.Printf("freshness: %s\n", s)
+			}
+		}
+	}
+	if ans.Defined {
+		fmt.Printf("%s = %v\n", ans.Fn, ans.Value)
+	} else {
+		fmt.Printf("%s is undefined (empty match set)\n", ans.Fn)
+	}
+	if ans.AgeMaxSec > 0 {
+		fmt.Printf("<!-- max cached age %.1fs over contributing partials -->\n", ans.AgeMaxSec)
+	}
+	if ans.Truncated {
+		fmt.Fprintln(os.Stderr, "irisquery: TRUNCATED — the gather loop hit its round bound before converging")
+	}
+	if len(ans.Unreachable) > 0 {
+		fmt.Fprintln(os.Stderr, "irisquery: PARTIAL ANSWER — the aggregate is a lower bound; unreachable subtrees:")
+		for _, p := range ans.Unreachable {
+			fmt.Fprintln(os.Stderr, "  ", p)
+		}
+	}
+}
+
 func reportPartial(ans *service.Answer) {
 	if !ans.Partial() {
 		return
 	}
-	fmt.Fprintln(os.Stderr, "irisquery: PARTIAL ANSWER — unreachable subtrees:")
-	for _, p := range ans.Unreachable {
-		fmt.Fprintln(os.Stderr, "  ", p)
+	if ans.Truncated {
+		fmt.Fprintln(os.Stderr, "irisquery: TRUNCATED — the gather loop hit its round bound before converging")
+	}
+	if len(ans.Unreachable) > 0 {
+		fmt.Fprintln(os.Stderr, "irisquery: PARTIAL ANSWER — unreachable subtrees:")
+		for _, p := range ans.Unreachable {
+			fmt.Fprintln(os.Stderr, "  ", p)
+		}
 	}
 }
 

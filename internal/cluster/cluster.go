@@ -66,6 +66,9 @@ type Config struct {
 	// PerMessage is the fixed per-message transmission overhead charged
 	// serially per destination link (see transport.SimConfig.PerMessage).
 	PerMessage time.Duration
+	// Bandwidth is the simulated link throughput in bytes per second; zero
+	// keeps message size free (see transport.SimConfig.Bandwidth).
+	Bandwidth float64
 	// Caching enables query-result caching at every site.
 	Caching bool
 	// CacheBudgetBytes bounds each site's accounted cached (non-owned)
@@ -187,7 +190,7 @@ func New(arch Architecture, cfg Config) (*Cluster, error) {
 	c := &Cluster{
 		Arch:     arch,
 		Cfg:      cfg,
-		Net:      transport.NewSimNet(transport.SimConfig{Latency: cfg.Latency, Jitter: cfg.Jitter, PerMessage: cfg.PerMessage, Seed: cfg.Seed}),
+		Net:      transport.NewSimNet(transport.SimConfig{Latency: cfg.Latency, Jitter: cfg.Jitter, PerMessage: cfg.PerMessage, Bandwidth: cfg.Bandwidth, Seed: cfg.Seed}),
 		Registry: naming.NewRegistry(),
 		Sites:    map[string]*site.Site{},
 		DB:       db,
@@ -312,7 +315,7 @@ func BalancedSkewCluster(cfg Config, hotCity, hotNB int) (*Cluster, error) {
 	c := &Cluster{
 		Arch:     Hierarchical,
 		Cfg:      cfg,
-		Net:      transport.NewSimNet(transport.SimConfig{Latency: cfg.Latency, Jitter: cfg.Jitter, PerMessage: cfg.PerMessage, Seed: cfg.Seed}),
+		Net:      transport.NewSimNet(transport.SimConfig{Latency: cfg.Latency, Jitter: cfg.Jitter, PerMessage: cfg.PerMessage, Bandwidth: cfg.Bandwidth, Seed: cfg.Seed}),
 		Registry: naming.NewRegistry(),
 		Sites:    map[string]*site.Site{},
 		DB:       db,

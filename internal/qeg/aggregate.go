@@ -1,0 +1,281 @@
+// In-network partial aggregation (DESIGN.md §14). An aggregate query
+// fn(/path) decomposes into per-site partial states that compose
+// associatively: count and sum travel as a pair (so avg composes), min/max
+// as scalars. A site answers its portion from local data with the indexed
+// fast path and ships back one AggPartial instead of a raw fragment; the
+// issuing site combines the partials. Decomposition is only attempted for
+// the provably-safe query class below; everything else falls back to
+// compute-over-raw-gather, which is the definitional semantics.
+package qeg
+
+import (
+	"math"
+	"sort"
+
+	"irisnet/internal/fragment"
+	"irisnet/internal/xmldb"
+	"irisnet/internal/xpath"
+	"irisnet/internal/xpatheval"
+)
+
+// AggPartial is the algebraic partial state of a distributed aggregate:
+// enough moments that every supported function composes associatively
+// across sites. JSON cannot carry NaN, so the XPath "a non-numeric value
+// poisons the sum" rule travels as the SumNaN flag.
+type AggPartial struct {
+	// Count is the number of matching nodes.
+	Count int64 `json:"count"`
+	// Sum is the total of the numeric match values (NaN contributions
+	// excluded; see SumNaN).
+	Sum float64 `json:"sum"`
+	// SumNaN records that some match's string value was not a number, which
+	// makes sum() and avg() NaN per XPath number() semantics.
+	SumNaN bool `json:"sumNaN,omitempty"`
+	// Min and Max are the numeric extrema; meaningful only when HasExtrema.
+	// Non-numeric matches do not participate (there is no useful ordering
+	// with NaN).
+	Min float64 `json:"min,omitempty"`
+	Max float64 `json:"max,omitempty"`
+	// HasExtrema records that at least one numeric match contributed.
+	HasExtrema bool `json:"hasExtrema,omitempty"`
+}
+
+// Combine merges two partial states; the operation is associative and
+// commutative with the zero value as identity.
+func (a AggPartial) Combine(b AggPartial) AggPartial {
+	out := AggPartial{
+		Count:  a.Count + b.Count,
+		Sum:    a.Sum + b.Sum,
+		SumNaN: a.SumNaN || b.SumNaN,
+	}
+	switch {
+	case a.HasExtrema && b.HasExtrema:
+		out.Min, out.Max, out.HasExtrema = math.Min(a.Min, b.Min), math.Max(a.Max, b.Max), true
+	case a.HasExtrema:
+		out.Min, out.Max, out.HasExtrema = a.Min, a.Max, true
+	case b.HasExtrema:
+		out.Min, out.Max, out.HasExtrema = b.Min, b.Max, true
+	}
+	return out
+}
+
+// Final resolves a combined partial into the aggregate's value. ok is false
+// when the function is undefined on the data: avg/min/max over an empty
+// match set. count and sum of nothing are 0, as in XPath.
+func (p AggPartial) Final(fn xpath.AggFunc) (float64, bool) {
+	switch fn {
+	case xpath.AggCount:
+		return float64(p.Count), true
+	case xpath.AggSum:
+		if p.SumNaN {
+			return math.NaN(), true
+		}
+		return p.Sum, true
+	case xpath.AggAvg:
+		if p.Count == 0 {
+			return 0, false
+		}
+		if p.SumNaN {
+			return math.NaN(), true
+		}
+		return p.Sum / float64(p.Count), true
+	case xpath.AggMin:
+		return p.Min, p.HasExtrema
+	case xpath.AggMax:
+		return p.Max, p.HasExtrema
+	}
+	return 0, false
+}
+
+// AggregateNodes folds extracted answer nodes into a partial state. The
+// value of a match is XPath number(string-value): an attribute node's text,
+// an element's concatenated subtree text.
+func AggregateNodes(nodes []*xmldb.Node) AggPartial {
+	var p AggPartial
+	for _, n := range nodes {
+		p.Count++
+		v := xpatheval.ToNumber(xpatheval.String(xpatheval.StringValue(n)))
+		if math.IsNaN(v) {
+			p.SumNaN = true
+			continue
+		}
+		p.Sum += v
+		if !p.HasExtrema || v < p.Min {
+			p.Min = v
+		}
+		if !p.HasExtrema || v > p.Max {
+			p.Max = v
+		}
+		p.HasExtrema = true
+	}
+	return p
+}
+
+// ComputeAggregate evaluates an aggregate naively over an assembled answer
+// fragment: extract the inner query's matches, fold them into a partial.
+// This is the canonical semantics — the pushdown path must produce exactly
+// this state on every input — and what the fallback path computes after a
+// raw gather.
+func ComputeAggregate(fragRoot *xmldb.Node, innerQuery string, now func() float64) (AggPartial, error) {
+	nodes, err := ExtractAnswer(fragRoot, innerQuery, now)
+	if err != nil {
+		return AggPartial{}, err
+	}
+	return AggregateNodes(nodes), nil
+}
+
+// DecomposableAggregate reports whether a compiled inner query is in the
+// class the planner can safely split into per-site partial aggregates:
+//
+//   - a single location path (unions may overlap across branches),
+//   - nesting depth 0 (nested predicates gather subtrees whose matches a
+//     per-target scalar cannot dedup),
+//   - self-contained predicates (no upward or absolute paths: a match must
+//     be decidable from the node's own local information, or extraction
+//     over a site-local fragment would disagree with extraction over the
+//     merged answer),
+//   - plain element name tests on the main path (wildcards let one match
+//     nest inside another within a single subquery's subtree), except the
+//     bare '//' marker and a trailing attribute step,
+//   - a final element tag that cannot appear below itself in the schema
+//     (otherwise a selected-subtree fetch hides extra matches behind one
+//     target, which AggregateTargetsDisjoint cannot see).
+//
+// Queries outside the class fall back to raw gather plus local aggregation;
+// the answer is identical, only the wire bytes differ.
+func DecomposableAggregate(plans []*Plan) bool {
+	if len(plans) != 1 || plans[0].NestedIdx >= 0 {
+		return false
+	}
+	p := plans[0]
+	steps := p.Path.Steps
+	if len(steps) == 0 {
+		return false
+	}
+	for i, s := range steps {
+		for _, pred := range s.Preds {
+			if !selfContainedExpr(pred) {
+				return false
+			}
+		}
+		if s.Axis == xpath.AxisDescendantOrSelf && s.Test.AnyNode && len(s.Preds) == 0 {
+			continue // the '//' marker
+		}
+		if i == len(steps)-1 && s.Axis == xpath.AxisAttribute {
+			continue
+		}
+		if s.Test.Text || s.Test.AnyNode || s.Test.Name == "" || s.Test.Name == "*" {
+			return false
+		}
+	}
+	last := steps[len(steps)-1]
+	if last.Axis != xpath.AxisAttribute {
+		if p.Schema == nil {
+			return false
+		}
+		if p.Schema.DescendantTags(last.Test.Name)[last.Test.Name] {
+			return false
+		}
+	}
+	return true
+}
+
+// selfContainedExpr reports whether a predicate expression only reads
+// downward from its anchor node: relative location paths over child,
+// descendant, attribute and self axes. Upward (parent/ancestor) or absolute
+// paths can reach data outside the anchor's subtree, which site-local
+// extraction does not see.
+func selfContainedExpr(e xpath.Expr) bool {
+	switch v := e.(type) {
+	case nil:
+		return true
+	case *xpath.Path:
+		if v.Absolute {
+			return false
+		}
+		for _, s := range v.Steps {
+			switch s.Axis {
+			case xpath.AxisChild, xpath.AxisAttribute, xpath.AxisSelf,
+				xpath.AxisDescendant, xpath.AxisDescendantOrSelf:
+			default:
+				return false
+			}
+			for _, pred := range s.Preds {
+				if !selfContainedExpr(pred) {
+					return false
+				}
+			}
+		}
+		return true
+	case *xpath.Binary:
+		return selfContainedExpr(v.L) && selfContainedExpr(v.R)
+	case *xpath.Unary:
+		return selfContainedExpr(v.X)
+	case *xpath.Call:
+		for _, a := range v.Args {
+			if !selfContainedExpr(a) {
+				return false
+			}
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// AggregateTargetsDisjoint is the runtime half of the decomposition safety
+// argument: after a local evaluation, summing the local partial with one
+// partial per subquery counts every match exactly once iff the subquery
+// targets are pairwise disjoint subtrees that the local answer has no data
+// below. Raw gather dedups overlap structurally when fragments merge; a
+// scalar cannot, so any overlap here sends the whole query down the
+// fallback path.
+func AggregateTargetsDisjoint(localFrag *xmldb.Node, subs []Subquery) bool {
+	if len(subs) == 0 {
+		return true
+	}
+	seen := make(map[string]bool, len(subs))
+	targets := make([]xmldb.IDPath, 0, len(subs))
+	for _, sq := range subs {
+		k := sq.Target.Key()
+		if seen[k] {
+			return false // two subqueries for one target can double-count
+		}
+		seen[k] = true
+		targets = append(targets, sq.Target)
+	}
+	sort.Slice(targets, func(i, j int) bool { return len(targets[i]) < len(targets[j]) })
+	for i, t := range targets {
+		for _, u := range targets[i+1:] {
+			if t.IsPrefixOf(u) {
+				return false // nested targets: the ancestor's answer covers the descendant's
+			}
+		}
+	}
+	for _, t := range targets {
+		n := xmldb.FindByIDPath(localFrag, t)
+		if n == nil {
+			continue
+		}
+		overlap := false
+		n.Walk(func(x *xmldb.Node) bool {
+			if fragment.StatusOf(x).HasLocalInfo() {
+				overlap = true
+				return false
+			}
+			return true
+		})
+		if overlap {
+			return false // local matches below the target would also be counted remotely
+		}
+	}
+	return true
+}
+
+// AggregateSubquery renders the aggregate subrequest for one raw subquery:
+// the same pinned, self-routing query text wrapped in the aggregate
+// function, so the remote site aggregates exactly the matches the raw
+// gather would have fetched from it.
+func AggregateSubquery(fn xpath.AggFunc, sq Subquery) string {
+	return fn.String() + "(" + sq.Query + ")"
+}

@@ -1,0 +1,49 @@
+package qeg
+
+import (
+	"testing"
+
+	"irisnet/internal/fragment"
+	"irisnet/internal/workload"
+)
+
+// aggBenchStore builds the paper-small database as one sealed fragment, the
+// shape a site's local half of an aggregate pushdown evaluates against.
+func aggBenchStore(b *testing.B) *fragment.Store {
+	b.Helper()
+	db := workload.Build(workload.PaperSmall())
+	stores, _, err := fragment.Partition(db.Doc, fragment.NewAssignment("solo"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return stores["solo"].Seal()
+}
+
+// BenchmarkAggregateCompute measures the site-local aggregation core: select
+// the inner query's matches and fold them into an AggPartial. This is the
+// per-site work an aggregate pushdown does instead of serializing the
+// matched subtrees, so the CI perf gate watches it alongside the tier-1
+// query paths.
+func BenchmarkAggregateCompute(b *testing.B) {
+	queries := []struct{ name, query string }{
+		{"city-prices", "/usRegion[@id='NE']/state[@id='PA']/county[@id='Allegheny']" +
+			"/city[@id='City0']/neighborhood/block/parkingSpace/price"},
+		{"predicate", "/usRegion[@id='NE']/state[@id='PA']/county[@id='Allegheny']" +
+			"/city/neighborhood/block/parkingSpace[available='yes']/price"},
+	}
+	for _, q := range queries {
+		b.Run(q.name, func(b *testing.B) {
+			store := aggBenchStore(b)
+			if _, err := ComputeAggregate(store.Root, q.query, nil); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ComputeAggregate(store.Root, q.query, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

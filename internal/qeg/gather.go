@@ -2,6 +2,7 @@ package qeg
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"irisnet/internal/fragment"
@@ -22,6 +23,25 @@ type Fetcher func(ctx context.Context, sq Subquery) (*xmldb.Node, error)
 // pathological ownership configurations.
 const maxGatherRounds = 64
 
+// TruncatedError reports a gather loop that hit maxGatherRounds before the
+// evaluate/fetch fixpoint converged. The answer assembled so far is still
+// returned alongside it — callers that can serve partial answers should,
+// rather than discard the gathered work. Pending lists the subqueries that
+// were still outstanding when the loop stopped.
+type TruncatedError struct {
+	// Query is the offending query.
+	Query string
+	// Rounds is the number of gather rounds that ran.
+	Rounds int
+	// Pending are the subqueries the truncated loop never issued.
+	Pending []Subquery
+}
+
+func (e *TruncatedError) Error() string {
+	return fmt.Sprintf("qeg: gather truncated: %q did not converge after %d rounds (%d subqueries pending)",
+		e.Query, e.Rounds, len(e.Pending))
+}
+
 // Gather executes the full query-evaluate-gather loop for a compiled query
 // (one plan per union branch): evaluate against the local fragment, fetch
 // the missing parts via subqueries, and splice everything into one C1/C2
@@ -36,6 +56,13 @@ func Gather(ctx context.Context, store *fragment.Store, plans []*Plan, fetch Fet
 		}
 		if plan.NestedIdx >= 0 {
 			if err := gatherNested(ctx, store, plan, fetch, opts, ans, seen); err != nil {
+				var trunc *TruncatedError
+				if errors.As(err, &trunc) {
+					// Truncation keeps the partial answer: the caller gets
+					// everything gathered so far plus an explicit marker in
+					// the error, instead of losing the work.
+					return ans.Root, err
+				}
 				return nil, err
 			}
 			continue
@@ -88,6 +115,16 @@ func gatherNested(ctx context.Context, store *fragment.Store, plan *Plan, fetch 
 		if len(fresh) == 0 {
 			return ans.MergeFragment(res.Fragment)
 		}
+		if round == maxGatherRounds-1 {
+			// Out of rounds with work still pending: keep what this round
+			// evaluated (the merged fetches are already in ans) and report
+			// the truncation with the offending query instead of discarding
+			// everything gathered so far.
+			if merr := ans.MergeFragment(res.Fragment); merr != nil {
+				return fmt.Errorf("qeg: merging truncated result: %w", merr)
+			}
+			return &TruncatedError{Query: plan.Source, Rounds: maxGatherRounds, Pending: fresh}
+		}
 		for _, sq := range fresh {
 			sub, err := fetch(ctx, sq)
 			if err != nil {
@@ -104,7 +141,9 @@ func gatherNested(ctx context.Context, store *fragment.Store, plan *Plan, fetch 
 			}
 		}
 	}
-	return fmt.Errorf("qeg: nested gather did not converge after %d rounds", maxGatherRounds)
+	// Unreachable: the last loop iteration either converged or returned the
+	// truncation error above.
+	return &TruncatedError{Query: plan.Source, Rounds: maxGatherRounds}
 }
 
 // LCAPath extracts the ID path of a query's lowest common ancestor from

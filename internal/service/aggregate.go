@@ -1,0 +1,125 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"irisnet/internal/qeg"
+	"irisnet/internal/site"
+	"irisnet/internal/trace"
+	"irisnet/internal/xmldb"
+	"irisnet/internal/xpath"
+)
+
+// AggregateAnswer is the result of an aggregate query fn(/path): the
+// combined algebraic partial state plus the resolved value and the
+// partial-answer markers the raw query path also reports.
+type AggregateAnswer struct {
+	// Fn is the aggregate function name (count/sum/avg/min/max).
+	Fn string
+	// State is the combined partial state the federation shipped back.
+	State qeg.AggPartial
+	// Value is the aggregate's value, meaningful only when Defined. It is
+	// NaN when a non-numeric match poisoned sum() or avg(), as in XPath.
+	Value float64
+	// Defined is false when the function has no value on the data: avg, min
+	// or max over an empty match set.
+	Defined bool
+	// Unreachable lists subtrees the answer could not cover (the aggregate
+	// is a lower bound over the reachable data).
+	Unreachable []string
+	// Truncated marks an answer whose gather loop hit its round bound.
+	Truncated bool
+	// AgeMaxSec is the answer's staleness: the maximum age over every cached
+	// unit that contributed to any partial, across all contributing sites.
+	AgeMaxSec float64
+}
+
+// Partial reports whether the aggregate missed any data.
+func (a *AggregateAnswer) Partial() bool { return len(a.Unreachable) > 0 || a.Truncated }
+
+// QueryAggregate runs an aggregate query end to end: the query routes to
+// the owner of its inner path's LCA as a KindAggregate message, the
+// federation pushes partial aggregation down the gather path, and the
+// frontend resolves the combined partial into the final value.
+func (f *Frontend) QueryAggregate(query string) (*AggregateAnswer, error) {
+	return f.QueryAggregateContext(context.Background(), query)
+}
+
+// QueryAggregateContext is QueryAggregate with a caller-supplied context.
+func (f *Frontend) QueryAggregateContext(ctx context.Context, query string) (*AggregateAnswer, error) {
+	ans, _, err := f.queryAggregate(ctx, query, f.Trace)
+	return ans, err
+}
+
+// QueryAggregateTrace is QueryAggregate with distributed tracing forced on.
+func (f *Frontend) QueryAggregateTrace(ctx context.Context, query string) (*AggregateAnswer, *trace.Span, error) {
+	return f.queryAggregate(ctx, query, true)
+}
+
+func (f *Frontend) queryAggregate(ctx context.Context, query string, traced bool) (*AggregateAnswer, *trace.Span, error) {
+	aggQ, isAgg, err := xpath.ParseAggregate(query)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !isAgg {
+		return nil, nil, fmt.Errorf("service: %q is not an aggregate query", query)
+	}
+	entry := f.ForceEntry
+	if entry == "" {
+		lca, err := LCAPath(aggQ.InnerSource())
+		if err != nil {
+			return nil, nil, err
+		}
+		entry, err = f.DNS.Resolve(lca)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	ctx, cancel := f.withDeadline(ctx)
+	defer cancel()
+	msg := &site.Message{Kind: site.KindAggregate, Query: query}
+	if traced {
+		msg.TraceID = trace.NewTraceID()
+	}
+	msg.StampDeadline(ctx)
+	respB, err := f.caller().Call(ctx, entry, msg.Encode())
+	if err != nil {
+		return nil, nil, fmt.Errorf("service: aggregate query to %s: %w", entry, err)
+	}
+	resp, err := site.DecodeMessage(respB)
+	if err != nil {
+		return nil, nil, err
+	}
+	if e := resp.AsError(); e != nil {
+		return nil, resp.Span, e
+	}
+	if resp.Agg == nil {
+		return nil, resp.Span, fmt.Errorf("service: aggregate answer from %s carries no partial state", entry)
+	}
+	ans := &AggregateAnswer{
+		Fn:          resp.Agg.Fn,
+		State:       resp.Agg.Partial,
+		Unreachable: resp.Unreachable,
+		Truncated:   resp.Truncated,
+		AgeMaxSec:   resp.Agg.AgeMaxSec,
+	}
+	ans.Value, ans.Defined = resp.Agg.Partial.Final(aggQ.Fn)
+	return ans, resp.Span, nil
+}
+
+// aggregateAsAnswer renders an aggregate result in the ordinary Answer
+// shape, so callers that route every query through QueryFull (irisquery)
+// get aggregates transparently: one synthetic element named after the
+// function whose text is the value, e.g. <count>42</count>, or no nodes at
+// all when the function is undefined on the data.
+func aggregateAsAnswer(agg *AggregateAnswer) *Answer {
+	ans := &Answer{Unreachable: agg.Unreachable, Truncated: agg.Truncated}
+	if agg.Defined {
+		n := xmldb.NewNode(agg.Fn)
+		n.Text = strconv.FormatFloat(agg.Value, 'g', -1, 64)
+		ans.Nodes = []*xmldb.Node{n}
+	}
+	return ans
+}

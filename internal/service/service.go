@@ -17,6 +17,7 @@ import (
 	"irisnet/internal/trace"
 	"irisnet/internal/transport"
 	"irisnet/internal/xmldb"
+	"irisnet/internal/xpath"
 )
 
 // Frontend poses queries on behalf of users anywhere on the Internet.
@@ -56,10 +57,14 @@ type Answer struct {
 	// Unreachable is empty for a complete answer. Paths come from both the
 	// entry site's report and unreachable markers in the fragment itself.
 	Unreachable []string
+	// Truncated marks an answer whose gather loop hit its round bound
+	// before converging; the outstanding subtrees appear in Unreachable.
+	Truncated bool
 }
 
-// Partial reports whether any subtree was unreachable.
-func (a *Answer) Partial() bool { return len(a.Unreachable) > 0 }
+// Partial reports whether any subtree was unreachable or the gather was
+// truncated.
+func (a *Answer) Partial() bool { return len(a.Unreachable) > 0 || a.Truncated }
 
 // NewFrontend builds a frontend.
 func NewFrontend(net transport.Network, dns *naming.Client) *Frontend {
@@ -144,7 +149,20 @@ func (f *Frontend) QueryTrace(ctx context.Context, query string) (*Answer, *trac
 }
 
 func (f *Frontend) queryTraced(ctx context.Context, query string, traced bool) (*Answer, *trace.Span, error) {
-	frag, reported, span, err := f.queryFragment(ctx, query, traced)
+	// Aggregate queries take the partial-aggregation path transparently: the
+	// caller sees the value as one synthetic node in the ordinary Answer
+	// shape. An aggregate-shaped query with an unsupported form errors here.
+	if _, isAgg, aggErr := xpath.ParseAggregate(query); isAgg || aggErr != nil {
+		if aggErr != nil {
+			return nil, nil, aggErr
+		}
+		agg, span, err := f.queryAggregate(ctx, query, traced)
+		if err != nil {
+			return nil, span, err
+		}
+		return aggregateAsAnswer(agg), span, nil
+	}
+	frag, reported, truncated, span, err := f.queryFragment(ctx, query, traced)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -152,7 +170,7 @@ func (f *Frontend) queryTraced(ctx context.Context, query string, traced bool) (
 	if err != nil {
 		return nil, span, err
 	}
-	return &Answer{Nodes: nodes, Unreachable: mergePaths(reported, marked)}, span, nil
+	return &Answer{Nodes: nodes, Unreachable: mergePaths(reported, marked), Truncated: truncated}, span, nil
 }
 
 // QueryFragment runs the query and returns the raw assembled answer
@@ -163,14 +181,14 @@ func (f *Frontend) QueryFragment(query string) (*xmldb.Node, error) {
 
 // QueryFragmentContext is QueryFragment with a caller-supplied context.
 func (f *Frontend) QueryFragmentContext(ctx context.Context, query string) (*xmldb.Node, error) {
-	frag, _, _, err := f.queryFragment(ctx, query, f.Trace)
+	frag, _, _, _, err := f.queryFragment(ctx, query, f.Trace)
 	return frag, err
 }
 
-func (f *Frontend) queryFragment(ctx context.Context, query string, traced bool) (*xmldb.Node, []string, *trace.Span, error) {
+func (f *Frontend) queryFragment(ctx context.Context, query string, traced bool) (*xmldb.Node, []string, bool, *trace.Span, error) {
 	entry, _, err := f.RouteOf(query)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, false, nil, err
 	}
 	ctx, cancel := f.withDeadline(ctx)
 	defer cancel()
@@ -181,20 +199,20 @@ func (f *Frontend) queryFragment(ctx context.Context, query string, traced bool)
 	msg.StampDeadline(ctx)
 	respB, err := f.caller().Call(ctx, entry, msg.Encode())
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("service: query to %s: %w", entry, err)
+		return nil, nil, false, nil, fmt.Errorf("service: query to %s: %w", entry, err)
 	}
 	resp, err := site.DecodeMessage(respB)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, false, nil, err
 	}
 	if e := resp.AsError(); e != nil {
-		return nil, nil, nil, e
+		return nil, nil, false, nil, e
 	}
 	frag, err := xmldb.ParseString(resp.Fragment)
 	if err != nil {
-		return nil, nil, resp.Span, err
+		return nil, nil, false, resp.Span, err
 	}
-	return frag, resp.Unreachable, resp.Span, nil
+	return frag, resp.Unreachable, resp.Truncated, resp.Span, nil
 }
 
 // mergePaths unions two sorted-ish path lists, preserving first-seen order.

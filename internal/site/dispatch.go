@@ -28,13 +28,12 @@ type subResult struct {
 // flight is one in-progress upstream fetch that concurrent queries for the
 // same generalized subquery share. The leader performs the fetch (possibly
 // inside a batch) and publishes the outcome; followers select on done
-// against their own context so a slow waiter cannot leak the flight.
-type flight struct {
-	done  chan struct{}
-	frag  *xmldb.Node
-	downs []string
-	bytes int
-	err   error
+// against their own context so a slow waiter cannot leak the flight. The
+// result type is generic because raw subqueries (subResult) and aggregate
+// subrequests (aggResult) share the mechanism but not the payload.
+type flight[T any] struct {
+	done chan struct{}
+	res  T
 }
 
 // flightGroup dedups identical in-flight subqueries by qeg.Subquery.Key()
@@ -42,24 +41,24 @@ type flight struct {
 // consistency predicates, so joiners can never be handed a fragment staler
 // than their own freshness tolerance: a different tolerance is a different
 // key, hence a different flight.
-type flightGroup struct {
+type flightGroup[T any] struct {
 	mu      sync.Mutex
-	flights map[string]*flight
+	flights map[string]*flight[T]
 }
 
-func newFlightGroup() *flightGroup {
-	return &flightGroup{flights: map[string]*flight{}}
+func newFlightGroup[T any]() *flightGroup[T] {
+	return &flightGroup[T]{flights: map[string]*flight[T]{}}
 }
 
 // join returns the flight for key and whether the caller leads it. A leader
 // must eventually call finish exactly once; followers wait on done.
-func (g *flightGroup) join(key string) (*flight, bool) {
+func (g *flightGroup[T]) join(key string) (*flight[T], bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if f, ok := g.flights[key]; ok {
 		return f, false
 	}
-	f := &flight{done: make(chan struct{})}
+	f := &flight[T]{done: make(chan struct{})}
 	g.flights[key] = f
 	return f, true
 }
@@ -68,11 +67,11 @@ func (g *flightGroup) join(key string) (*flight, bool) {
 // removed before done closes, so no new joiner can observe a completed
 // flight (and thus a fragment fetched before its own query even started
 // resolving — the freshness guarantee above depends on this ordering).
-func (g *flightGroup) finish(key string, f *flight, r subResult) {
+func (g *flightGroup[T]) finish(key string, f *flight[T], r T) {
 	g.mu.Lock()
 	delete(g.flights, key)
 	g.mu.Unlock()
-	f.frag, f.downs, f.bytes, f.err = r.frag, r.downs, r.bytes, r.err
+	f.res = r
 	close(f.done)
 }
 
@@ -150,12 +149,12 @@ func (s *Site) dispatchSubqueries(ctx context.Context, fresh []qeg.Subquery, tra
 	type waiter struct {
 		idx int
 		sq  qeg.Subquery
-		fl  *flight
+		fl  *flight[subResult]
 	}
 	var waiters []waiter
 	type ledFlight struct {
 		key string
-		fl  *flight
+		fl  *flight[subResult]
 	}
 	leaders := map[int]ledFlight{}
 	if s.cfg.Caching && !s.cfg.DisableCoalescing {
@@ -253,7 +252,7 @@ func (s *Site) dispatchSubqueries(ctx context.Context, fresh []qeg.Subquery, tra
 			defer wg.Done()
 			select {
 			case <-w.fl.done:
-				if w.fl.err != nil {
+				if w.fl.res.err != nil {
 					// The flight failed — possibly the leader's deadline,
 					// not ours. Fall back to a private fetch rather than
 					// inheriting the leader's failure.
@@ -269,7 +268,7 @@ func (s *Site) dispatchSubqueries(ctx context.Context, fresh []qeg.Subquery, tra
 					// the leader's subtree would mix trace IDs in one tree.
 					span = &trace.Span{TraceID: traceID, Site: s.cfg.Name, Query: w.sq.Query, Op: "coalesced"}
 				}
-				results[w.idx] = subResult{frag: w.fl.frag, downs: w.fl.downs, bytes: w.fl.bytes, span: span}
+				results[w.idx] = subResult{frag: w.fl.res.frag, downs: w.fl.res.downs, bytes: w.fl.res.bytes, span: span}
 			case <-ctx.Done():
 				err := fmt.Errorf("site %s: awaiting coalesced fetch: %w", s.cfg.Name, ctx.Err())
 				results[w.idx] = subResult{err: err, span: errSpan(traceID, s.cfg.Name, w.sq.Query, err)}
@@ -402,8 +401,20 @@ func (s *Site) handleBatch(ctx context.Context, msg *Message, reqBytes int) *Mes
 	var wg sync.WaitGroup
 	for i, e := range msg.Entries {
 		wg.Add(1)
-		go func(i int, query string) {
+		go func(i int, kind, query string) {
 			defer wg.Done()
+			if kind == KindAggregate {
+				em := &Message{Kind: KindAggregate, Query: query, TraceID: msg.TraceID}
+				resp := s.handleAggregate(ctx, em, len(query), snap)
+				if err := resp.AsError(); err != nil {
+					out[i] = BatchEntry{Kind: kind, Query: query, Status: BatchEntryError, Error: err.Error(),
+						Span: errSpan(msg.TraceID, s.cfg.Name, query, err)}
+					return
+				}
+				out[i] = BatchEntry{Kind: kind, Query: query, Status: BatchEntryOK, Agg: resp.Agg,
+					Unreachable: resp.Unreachable, Truncated: resp.Truncated, Span: resp.Span}
+				return
+			}
 			em := &Message{Kind: KindQuery, Query: query, TraceID: msg.TraceID}
 			resp := s.handleQuery(ctx, em, len(query), snap)
 			if err := resp.AsError(); err != nil {
@@ -413,7 +424,7 @@ func (s *Site) handleBatch(ctx context.Context, msg *Message, reqBytes int) *Mes
 			}
 			out[i] = BatchEntry{Query: query, Status: BatchEntryOK, Fragment: resp.Fragment,
 				Unreachable: resp.Unreachable, Span: resp.Span}
-		}(i, e.Query)
+		}(i, e.Kind, e.Query)
 	}
 	wg.Wait()
 	res := &Message{Kind: KindBatchResult, Entries: out}

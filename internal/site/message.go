@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"irisnet/internal/qeg"
 	"irisnet/internal/trace"
 )
 
@@ -30,6 +31,13 @@ const (
 	// batch shares one deadline, one trace span and one retry budget.
 	KindBatch       = "batch"
 	KindBatchResult = "batchResult"
+	// KindAggregate carries an aggregate query (count/sum/avg/min/max over a
+	// path, Query set). The receiver answers with KindAggregateResult whose
+	// Agg payload is the compact algebraic partial state for its portion of
+	// the hierarchy — count+sum pairs so avg composes, min/max scalars —
+	// instead of a raw answer fragment (DESIGN.md §14).
+	KindAggregate       = "aggregate"
+	KindAggregateResult = "aggregateResult"
 )
 
 // Per-entry statuses inside a KindBatchResult message.
@@ -43,15 +51,38 @@ const (
 	BatchEntryError = "error"
 )
 
+// AggPayload is the aggregate-specific part of a KindAggregateResult
+// message (or of a batched aggregate entry): the partial state plus the
+// freshness roll-up the combined answer inherits.
+type AggPayload struct {
+	// Fn is the aggregate function name (count/sum/avg/min/max).
+	Fn string `json:"fn"`
+	// Partial is the algebraic partial state for the answering site's
+	// portion of the hierarchy (already combined with its own subqueries).
+	Partial qeg.AggPartial `json:"partial"`
+	// AgeMaxSec is the staleness of the partial: the maximum age over every
+	// cached unit that contributed, across all contributing sites. The
+	// combined answer's staleness is the max over contributing partials.
+	AgeMaxSec float64 `json:"ageMaxSec,omitempty"`
+}
+
 // BatchEntry is one subquery inside a KindBatch request (Query set) or its
 // answer inside a KindBatchResult response (Status plus Fragment or Error).
 type BatchEntry struct {
+	// Kind distinguishes entry families inside one batch: empty or
+	// KindQuery for raw subqueries, KindAggregate for aggregate
+	// subrequests (answered with Agg instead of Fragment).
+	Kind        string      `json:"kindEntry,omitempty"`
 	Query       string      `json:"query,omitempty"`
 	Status      string      `json:"status,omitempty"`
 	Fragment    string      `json:"fragment,omitempty"`
 	Unreachable []string    `json:"unreachable,omitempty"`
 	Error       string      `json:"error,omitempty"`
 	Span        *trace.Span `json:"span,omitempty"`
+	// Agg is the aggregate answer of a Kind == KindAggregate entry.
+	Agg *AggPayload `json:"agg,omitempty"`
+	// Truncated marks an aggregate entry whose gather loop was truncated.
+	Truncated bool `json:"truncated,omitempty"`
 }
 
 // Message is the wire envelope between sites (and from frontends/sensing
@@ -86,6 +117,12 @@ type Message struct {
 	// Entries carries the per-subquery payloads of a KindBatch request or
 	// the per-entry answers of a KindBatchResult response (same order).
 	Entries []BatchEntry `json:"entries,omitempty"`
+	// Agg is the partial-aggregate answer of a KindAggregateResult message.
+	Agg *AggPayload `json:"agg,omitempty"`
+	// Truncated marks a result whose gather loop hit its round bound before
+	// converging: the answer covers everything gathered so far, with the
+	// still-outstanding subtrees listed in Unreachable (partial answer).
+	Truncated bool `json:"truncated,omitempty"`
 }
 
 // Deadline converts DeadlineMS back to a time; ok is false when unset.

@@ -101,6 +101,11 @@ func (s *Site) Delegate(path xmldb.IDPath, newOwner string) error {
 		_ = w.SetStatusAt(p, fragment.StatusComplete)
 	}
 	s.publishLocked(&siteState{store: w.Commit(), owned: owned, migrated: migrated})
+	if s.summaries != nil {
+		// Ownership changed hands: cached aggregate summaries may now cover
+		// subtrees this site should route elsewhere, so drop them all.
+		s.summaries.flush()
+	}
 	if s.cfg.Registry != nil {
 		for _, p := range transfer {
 			s.cfg.Registry.Set(naming.DNSName(p, s.cfg.Service), newOwner)
@@ -178,6 +183,9 @@ func (s *Site) handleTake(msg *Message) *Message {
 	})
 	if takeErr != nil {
 		return errorMessage(takeErr)
+	}
+	if s.summaries != nil {
+		s.summaries.flush()
 	}
 	return &Message{Kind: KindOK}
 }

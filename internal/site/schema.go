@@ -148,6 +148,11 @@ func (s *Site) SchemaChange(op SchemaOp, p xmldb.IDPath, args map[string]string)
 	}
 	fragment.SetTimestamp(n, s.cfg.Clock())
 	s.publishLocked(&siteState{store: w.Commit(), owned: owned, migrated: st.migrated})
+	if s.summaries != nil {
+		// A schema change can add or remove aggregate matches anywhere under
+		// the changed node; flushing is simpler than reasoning per-op.
+		s.summaries.flush()
+	}
 	if registry != nil {
 		registry()
 	}

@@ -124,6 +124,11 @@ type Config struct {
 // WAN link for seconds.
 const DefaultBatchByteCap = 256 << 10
 
+// maxSiteGatherRounds bounds a site's evaluate/fetch gather loop; hitting
+// it returns the partial answer with a truncation marker rather than an
+// error (see handleQuery).
+const maxSiteGatherRounds = 64
+
 // Metrics exposes a site's counters to the harness.
 type Metrics struct {
 	Queries        metrics.Counter // queries and subqueries served
@@ -149,6 +154,18 @@ type Metrics struct {
 	// Evictions counts local-information units evicted by the cache budget
 	// policy (sites with CacheBudgetBytes set only).
 	Evictions metrics.Counter
+	// AggregatePushdowns counts aggregate queries answered in decomposed
+	// mode: local partial plus per-site aggregate subrequests.
+	AggregatePushdowns metrics.Counter
+	// AggregateFallbacks counts aggregate queries answered by raw gather
+	// plus local aggregation (inner query outside the decomposable class).
+	AggregateFallbacks metrics.Counter
+	// GatherBytesSaved accumulates the fragment bytes the aggregate path
+	// kept off the wire: per hop, the serialized fragment the raw path
+	// would have shipped upstream minus the compact partial actually sent.
+	GatherBytesSaved metrics.Counter
+	// SummaryHits counts aggregate queries answered from the summary cache.
+	SummaryHits metrics.Counter
 	// BatchSize is the per-batch-message entry-count distribution.
 	BatchSize *metrics.SizeHistogram
 	// AnswerStaleness is the per-answer maximum cached-unit age in
@@ -189,6 +206,17 @@ func (s *Site) Register(r *metrics.Registry) {
 	r.RegisterCounter("irisnet_batches_total", "Batched subquery messages sent.", l, &m.Batches)
 	r.RegisterCounter("irisnet_coalesced_subqueries_total", "Subqueries answered by joining an in-flight fetch.", l, &m.Coalesced)
 	r.RegisterCounter("irisnet_cache_evictions_total", "Cached local-information units evicted by the budget policy.", l, &m.Evictions)
+	r.RegisterCounter("irisnet_aggregate_pushdowns_total", "Aggregate queries answered with decomposed partial aggregation.", l, &m.AggregatePushdowns)
+	r.RegisterCounter("irisnet_aggregate_fallbacks_total", "Aggregate queries answered via raw gather plus local aggregation.", l, &m.AggregateFallbacks)
+	r.RegisterCounter("irisnet_gather_bytes_saved_total", "Fragment bytes kept off the wire by partial aggregation.", l, &m.GatherBytesSaved)
+	r.RegisterCounter("irisnet_aggregate_summary_hits_total", "Aggregate queries answered from the summary cache.", l, &m.SummaryHits)
+	r.GaugeFunc("irisnet_summary_cache_bytes", "Accounted bytes of cached aggregate summaries.", l,
+		func() float64 {
+			if s.summaries == nil {
+				return 0
+			}
+			return float64(s.summaries.Bytes())
+		})
 	r.RegisterSizeHistogram("irisnet_subquery_batch_size", "Entries per batched subquery message.", l, m.BatchSize)
 	r.RegisterSizeHistogram("irisnet_answer_staleness_seconds", "Per-answer maximum age of contributing cached units.", l, m.AnswerStaleness)
 	r.RegisterSizeHistogram("irisnet_cache_age_seconds", "Per-answer mean age of contributing cached units.", l, m.CacheAge)
@@ -230,12 +258,18 @@ type siteState struct {
 // atomically; because each writer starts from the version the previous
 // writer published, no writer can lose another's changes.
 type Site struct {
-	cfg      Config
-	log      *slog.Logger
-	cpu      *transport.CPU
-	compiler *qeg.Compiler
-	call     *transport.Caller
-	flights  *flightGroup
+	cfg        Config
+	log        *slog.Logger
+	cpu        *transport.CPU
+	compiler   *qeg.Compiler
+	call       *transport.Caller
+	flights    *flightGroup[subResult]
+	aggFlights *flightGroup[aggResult]
+
+	// summaries is the aggregate summary cache: combined partial-aggregate
+	// answers kept by caching sites so repeated aggregate queries skip the
+	// gather entirely (summary.go); nil unless cfg.Caching.
+	summaries *summaryCache
 
 	// cache is the budget/eviction policy state; nil unless the site
 	// caches with CacheBudgetBytes set (cache.go).
@@ -271,11 +305,15 @@ func New(cfg Config, rootName, rootID string) *Site {
 		log:          cfg.Logger,
 		cpu:          transport.NewCPU(cfg.CPUSlots),
 		compiler:     qeg.NewCompiler(cfg.Schema, cfg.NaivePlans),
-		flights:      newFlightGroup(),
+		flights:      newFlightGroup[subResult](),
+		aggFlights:   newFlightGroup[aggResult](),
 		stopPressure: make(chan struct{}),
 	}
 	if cfg.Caching && cfg.CacheBudgetBytes > 0 {
 		s.cache = newCacheManager()
+	}
+	if cfg.Caching {
+		s.summaries = newSummaryCache(cfg.CacheBudgetBytes)
 	}
 	s.state.Store(&siteState{
 		store:    fragment.NewStore(rootName, rootID).Seal(),
@@ -469,6 +507,8 @@ func (s *Site) Handle(ctx context.Context, payload []byte) ([]byte, error) {
 	switch msg.Kind {
 	case KindQuery:
 		resp = s.handleQuery(ctx, msg, len(payload), nil)
+	case KindAggregate:
+		resp = s.handleAggregate(ctx, msg, len(payload), nil)
 	case KindBatch:
 		resp = s.handleBatch(ctx, msg, len(payload))
 	case KindUpdate:
@@ -556,6 +596,7 @@ func (s *Site) handleQuery(ctx context.Context, msg *Message, reqBytes int, pinn
 	seen := map[string]bool{}
 	unreachable := map[string]bool{}
 	askedAny := false
+	truncated := false
 	fanout := 0
 
 	// Staleness ledger: prov aggregates provenance across plans and gather
@@ -583,9 +624,6 @@ func (s *Site) handleQuery(ctx context.Context, msg *Message, reqBytes int, pinn
 			work = snap.Clone()
 		}
 		for round := 0; ; round++ {
-			if round > 64 {
-				return errorMessage(fmt.Errorf("site %s: gather did not converge for %q", s.cfg.Name, msg.Query))
-			}
 			var res *qeg.Result
 			var evalErr error
 			if prov != nil {
@@ -632,6 +670,32 @@ func (s *Site) handleQuery(ctx context.Context, msg *Message, reqBytes int, pinn
 				if prov != nil {
 					prov.Merge(opts.Prov)
 				}
+				break
+			}
+			if round >= maxSiteGatherRounds {
+				// The evaluate/fetch fixpoint did not converge within the
+				// round bound. Return the partial answer with an explicit
+				// truncation marker — everything gathered so far plus
+				// unreachable markers for the still-pending subtrees —
+				// instead of discarding the work (gather truncation).
+				s.cpu.Do(func() {
+					evalErr = ans.MergeFragment(res.Fragment)
+				})
+				if evalErr != nil {
+					return errorMessage(fmt.Errorf("site %s: merging truncated result: %w", s.cfg.Name, evalErr))
+				}
+				if prov != nil {
+					prov.Merge(opts.Prov)
+				}
+				for _, sq := range fresh {
+					if merr := s.markUnreachable(ans, unreachable, sq.Target); merr != nil {
+						return errorMessage(fmt.Errorf("site %s: marking %s unreachable: %w", s.cfg.Name, sq.Target, merr))
+					}
+				}
+				truncated = true
+				s.log.LogAttrs(ctx, slog.LevelWarn, "gather truncated",
+					slog.String("trace_id", msg.TraceID), slog.String("query", clipQuery(msg.Query)),
+					slog.Int("rounds", round), slog.Int("pending", len(fresh)))
 				break
 			}
 			askedAny = true
@@ -742,7 +806,7 @@ func (s *Site) handleQuery(ctx context.Context, msg *Message, reqBytes int, pinn
 	})
 	total := time.Since(t0)
 	s.Metrics.Breakdown.Add("rest", total-execTime-commTime)
-	res := &Message{Kind: KindResult, Fragment: out}
+	res := &Message{Kind: KindResult, Fragment: out, Truncated: truncated}
 	if len(unreachable) > 0 {
 		s.Metrics.PartialAnswers.Inc()
 		res.Unreachable = make([]string, 0, len(unreachable))
@@ -762,6 +826,7 @@ func (s *Site) handleQuery(ctx context.Context, msg *Message, reqBytes int, pinn
 		span.BytesOut = len(out)
 		span.Partial = len(res.Unreachable) > 0
 		span.Unreachable = res.Unreachable
+		span.Truncated = truncated
 		span.Freshness = freshness
 		finishSpan(span, stats)
 		res.Span = span
@@ -999,6 +1064,11 @@ func (s *Site) applyUpdateLocked(st *siteState, p xmldb.IDPath, fields, attrs ma
 		return fmt.Errorf("site %s: owned node %s missing from store", s.cfg.Name, p)
 	}
 	s.publishLocked(&siteState{store: w.Commit(), owned: st.owned, migrated: st.migrated})
+	if s.summaries != nil {
+		// Cached aggregate summaries over the updated subtree are stale the
+		// moment the new version publishes; drop them in the commit path.
+		s.summaries.invalidate(p)
+	}
 	return nil
 }
 

@@ -1,0 +1,196 @@
+package site
+
+import (
+	"container/list"
+	"sync"
+
+	"irisnet/internal/qeg"
+	"irisnet/internal/xmldb"
+	"irisnet/internal/xpath"
+)
+
+// Aggregate summary cache (DESIGN.md §14). A caching site that combines an
+// aggregate answer keeps the resulting partial state as a summary entry,
+// keyed by the full aggregate query text, so a repeated aggregate hits
+// locally without re-running the gather at all — the aggregate analogue of
+// the paper's answer-fragment caching, a few dozen bytes per entry instead
+// of a fragment.
+//
+// Consistency follows the raw cache's query-based model:
+//
+//   - A hit is admissible only while every consistency predicate of the
+//     inner query still holds for the entry's age. The age of a summary is
+//     the age of its stalest contributing unit at compute time plus the
+//     time elapsed since; the compiled FreshnessForm margins gate the hit
+//     with a synthetic timestamp at exactly that staleness. Entries whose
+//     inner query carries a consistency predicate outside the compilable
+//     subset are never cached (the margin cannot be measured).
+//   - An owner update at this site invalidates every entry whose scope
+//     overlaps the updated path (prefix in either direction) through the
+//     same write path that commits the update, so a site never serves a
+//     summary it knows to be stale.
+//   - Ownership migrations and schema changes flush the cache outright.
+//   - Raw-cache budget evictions do not touch summaries: evicting a copy
+//     does not change the ground truth the summary describes; freshness
+//     gating alone decides how long it stays servable.
+//
+// Only complete answers are cached — a partial (unreachable subtrees) or
+// truncated aggregate must be recomputed, not replayed.
+
+// defaultSummaryBudget bounds the summary cache on sites without a
+// configured CacheBudgetBytes. Entries are tiny, so 1 MiB is plenty.
+const defaultSummaryBudget = 1 << 20
+
+// summaryEntry is one cached aggregate answer.
+type summaryEntry struct {
+	key string
+	// scope is the inner query's routable ID prefix (its LCA): the subtree
+	// the aggregate's matches live under, used for update invalidation.
+	scope xmldb.IDPath
+	// partial is the combined partial state of the complete answer.
+	partial qeg.AggPartial
+	// ageAtCompute is the answer's staleness when it was assembled (max age
+	// over contributing cached units); it grows with wall time from
+	// computedAt on.
+	ageAtCompute float64
+	// computedAt is the site clock when the answer was assembled.
+	computedAt float64
+	// forms are the inner query's compiled consistency predicates; every
+	// margin must stay non-negative for the entry to hit.
+	forms []*xpath.FreshnessForm
+	// bytes is the entry's accounted size.
+	bytes int64
+
+	lru *list.Element
+}
+
+// summaryCache is a byte-bounded LRU of summaryEntry keyed by aggregate
+// query text. All methods are safe for concurrent use.
+type summaryCache struct {
+	mu      sync.Mutex
+	entries map[string]*summaryEntry
+	order   *list.List // front = most recently used
+	bytes   int64
+	budget  int64
+}
+
+func newSummaryCache(budget int64) *summaryCache {
+	if budget <= 0 {
+		budget = defaultSummaryBudget
+	}
+	return &summaryCache{
+		entries: map[string]*summaryEntry{},
+		order:   list.New(),
+		budget:  budget,
+	}
+}
+
+// entrySize estimates an entry's memory footprint: key text, scope path and
+// the fixed struct overhead.
+func entrySize(e *summaryEntry) int64 {
+	n := int64(len(e.key)) + 128
+	for _, seg := range e.scope {
+		n += int64(len(seg.Name) + len(seg.ID))
+	}
+	return n
+}
+
+// get returns the cached partial and its current staleness when the entry
+// exists and every consistency predicate of the inner query still holds at
+// now. A freshness-expired entry can never become admissible again (age only
+// grows), so it is dropped on the spot.
+func (c *summaryCache) get(key string, now float64) (qeg.AggPartial, float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return qeg.AggPartial{}, 0, false
+	}
+	age := e.ageAtCompute + (now - e.computedAt)
+	if age < e.ageAtCompute {
+		age = e.ageAtCompute // clock skew must not rejuvenate an entry
+	}
+	for _, f := range e.forms {
+		if f.Margin(now-age, now) < 0 {
+			c.removeLocked(e)
+			return qeg.AggPartial{}, 0, false
+		}
+	}
+	c.order.MoveToFront(e.lru)
+	return e.partial, age, true
+}
+
+// put installs (or refreshes) an entry and evicts least-recently-used
+// entries until the cache fits its budget.
+func (c *summaryCache) put(key string, scope xmldb.IDPath, partial qeg.AggPartial, age, now float64, forms []*xpath.FreshnessForm) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.entries[key]; ok {
+		c.removeLocked(old)
+	}
+	e := &summaryEntry{
+		key:          key,
+		scope:        scope,
+		partial:      partial,
+		ageAtCompute: age,
+		computedAt:   now,
+		forms:        forms,
+	}
+	e.bytes = entrySize(e)
+	if e.bytes > c.budget {
+		return // an entry larger than the whole budget never fits
+	}
+	c.entries[key] = e
+	e.lru = c.order.PushFront(e)
+	c.bytes += e.bytes
+	for c.bytes > c.budget {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		c.removeLocked(back.Value.(*summaryEntry))
+	}
+}
+
+func (c *summaryCache) removeLocked(e *summaryEntry) {
+	delete(c.entries, e.key)
+	c.order.Remove(e.lru)
+	c.bytes -= e.bytes
+}
+
+// invalidate drops every entry whose scope overlaps the updated path in
+// either direction: an update below a scope changes the matches the summary
+// folded, and an update at an ancestor can change data an arbitrary inner
+// query's matches read. Called from the write path that commits the update.
+func (c *summaryCache) invalidate(p xmldb.IDPath) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.entries {
+		if e.scope.IsPrefixOf(p) || p.IsPrefixOf(e.scope) {
+			c.removeLocked(e)
+		}
+	}
+}
+
+// flush empties the cache (migrations, schema changes).
+func (c *summaryCache) flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[string]*summaryEntry{}
+	c.order.Init()
+	c.bytes = 0
+}
+
+// Bytes returns the accounted size of the cache.
+func (c *summaryCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Len returns the number of cached summaries.
+func (c *summaryCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

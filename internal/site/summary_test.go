@@ -1,0 +1,137 @@
+package site
+
+import (
+	"fmt"
+	"testing"
+
+	"irisnet/internal/qeg"
+	"irisnet/internal/xmldb"
+	"irisnet/internal/xpath"
+)
+
+func summaryPath(t *testing.T, s string) xmldb.IDPath {
+	t.Helper()
+	p, err := xmldb.ParseIDPath(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSummaryCacheHitAndAge(t *testing.T) {
+	c := newSummaryCache(0)
+	scope := summaryPath(t, "/usRegion[@id='NE']/state[@id='PA']")
+	want := qeg.AggPartial{Count: 3, Sum: 75, Min: 0, Max: 50, HasExtrema: true}
+	c.put("count(/a)", scope, want, 2.0, 100.0, nil)
+
+	got, age, ok := c.get("count(/a)", 105.0)
+	if !ok {
+		t.Fatal("expected a hit")
+	}
+	if got != want {
+		t.Fatalf("partial = %+v, want %+v", got, want)
+	}
+	// Staleness grows with wall time from the compute-time age.
+	if age != 7.0 {
+		t.Fatalf("age = %v, want 7 (2 at compute + 5 elapsed)", age)
+	}
+	if _, _, ok := c.get("count(/b)", 105.0); ok {
+		t.Fatal("unexpected hit for a different key")
+	}
+}
+
+func TestSummaryCacheFreshnessExpiry(t *testing.T) {
+	c := newSummaryCache(0)
+	scope := summaryPath(t, "/usRegion[@id='NE']")
+	// Margin(ts, now) = 10 + ts - now = 10 - age: admissible while age <= 10.
+	form := &xpath.FreshnessForm{A: 10, B: 1, C: -1}
+	c.put("avg(/p)", scope, qeg.AggPartial{Count: 1, Sum: 5}, 4.0, 100.0, []*xpath.FreshnessForm{form})
+
+	if _, _, ok := c.get("avg(/p)", 105.0); !ok {
+		t.Fatal("entry at age 9 should hit (bound is 10)")
+	}
+	if _, _, ok := c.get("avg(/p)", 107.0); ok {
+		t.Fatal("entry at age 11 should miss (bound is 10)")
+	}
+	// Expiry removes the entry outright: age only grows, so it can never
+	// become admissible again.
+	if c.Len() != 0 {
+		t.Fatalf("expired entry still cached, len = %d", c.Len())
+	}
+}
+
+func TestSummaryCacheInvalidatePrefixBothWays(t *testing.T) {
+	c := newSummaryCache(0)
+	nb := summaryPath(t, "/usRegion[@id='NE']/state[@id='PA']/county[@id='A']/city[@id='C0']/neighborhood[@id='N0']")
+	city := summaryPath(t, "/usRegion[@id='NE']/state[@id='PA']/county[@id='A']/city[@id='C0']")
+	other := summaryPath(t, "/usRegion[@id='NE']/state[@id='PA']/county[@id='A']/city[@id='C1']")
+	c.put("count(/nb)", nb, qeg.AggPartial{Count: 1}, 0, 0, nil)
+	c.put("count(/city)", city, qeg.AggPartial{Count: 2}, 0, 0, nil)
+	c.put("count(/other)", other, qeg.AggPartial{Count: 3}, 0, 0, nil)
+
+	// An update below the neighborhood invalidates both the neighborhood
+	// summary (scope is a prefix of the update) and the city summary (the
+	// update is below its scope too) but not the other city's.
+	space := append(append(xmldb.IDPath{}, nb...), xmldb.Step{Name: "block", ID: "1"})
+	c.invalidate(space)
+	if _, _, ok := c.get("count(/nb)", 0); ok {
+		t.Fatal("neighborhood summary should be invalidated")
+	}
+	if _, _, ok := c.get("count(/city)", 0); ok {
+		t.Fatal("city summary should be invalidated")
+	}
+	if _, _, ok := c.get("count(/other)", 0); !ok {
+		t.Fatal("unrelated city summary should survive")
+	}
+
+	// An update at an ancestor of a scope invalidates it too.
+	c.put("count(/nb)", nb, qeg.AggPartial{Count: 1}, 0, 0, nil)
+	c.invalidate(city)
+	if _, _, ok := c.get("count(/nb)", 0); ok {
+		t.Fatal("ancestor update should invalidate the descendant scope")
+	}
+}
+
+func TestSummaryCacheByteBoundLRU(t *testing.T) {
+	scope := summaryPath(t, "/usRegion[@id='NE']")
+	probe := &summaryEntry{key: "count(/q-00)", scope: scope}
+	per := entrySize(probe)
+	c := newSummaryCache(3 * per)
+	for i := 0; i < 4; i++ {
+		c.put(fmt.Sprintf("count(/q-%02d)", i), scope, qeg.AggPartial{Count: int64(i)}, 0, float64(i), nil)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3 (budget holds three entries)", c.Len())
+	}
+	if c.Bytes() > 3*per {
+		t.Fatalf("bytes = %d over budget %d", c.Bytes(), 3*per)
+	}
+	// The least recently used entry (the first put) was evicted.
+	if _, _, ok := c.get("count(/q-00)", 0); ok {
+		t.Fatal("LRU entry should have been evicted")
+	}
+	if _, _, ok := c.get("count(/q-03)", 0); !ok {
+		t.Fatal("most recent entry should survive")
+	}
+
+	// An entry larger than the whole budget is rejected, not installed.
+	tiny := newSummaryCache(8)
+	tiny.put("count(/way-too-big)", scope, qeg.AggPartial{}, 0, 0, nil)
+	if tiny.Len() != 0 {
+		t.Fatal("oversized entry should be rejected")
+	}
+}
+
+func TestSummaryCacheFlush(t *testing.T) {
+	c := newSummaryCache(0)
+	scope := summaryPath(t, "/usRegion[@id='NE']")
+	c.put("count(/a)", scope, qeg.AggPartial{Count: 1}, 0, 0, nil)
+	c.put("count(/b)", scope, qeg.AggPartial{Count: 2}, 0, 0, nil)
+	c.flush()
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatalf("flush left len=%d bytes=%d", c.Len(), c.Bytes())
+	}
+	if _, _, ok := c.get("count(/a)", 0); ok {
+		t.Fatal("flushed entry still hits")
+	}
+}

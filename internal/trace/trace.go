@@ -67,6 +67,9 @@ type Span struct {
 	BytesOut int `json:"bytesOut,omitempty"`
 	// Partial is true when the hop's answer misses unreachable subtrees.
 	Partial bool `json:"partial,omitempty"`
+	// Truncated is true when the hop's gather loop hit its round bound
+	// before converging; the outstanding subtrees appear in Unreachable.
+	Truncated bool `json:"truncated,omitempty"`
 	// Unreachable lists the ID paths this hop could not cover.
 	Unreachable []string `json:"unreachable,omitempty"`
 	// Error is set on spans for subqueries that failed outright.
@@ -206,6 +209,9 @@ func describe(s *Span) string {
 	}
 	if s.Partial {
 		parts = append(parts, fmt.Sprintf("PARTIAL (%d unreachable)", len(s.Unreachable)))
+	}
+	if s.Truncated {
+		parts = append(parts, "TRUNCATED")
 	}
 	if s.Freshness != nil {
 		if fs := s.Freshness.Summary(); fs != "" {

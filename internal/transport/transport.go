@@ -19,6 +19,7 @@ import (
 	"hash/fnv"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -70,6 +71,14 @@ type SimConfig struct {
 	// overlaps. Zero (the default) keeps the pure propagation model. This
 	// is the cost a batched wire format amortizes across its entries.
 	PerMessage time.Duration
+	// Bandwidth is the link throughput in bytes per second: a request
+	// payload occupies the destination's ingress link for size/Bandwidth
+	// (serialized with PerMessage, so concurrent senders queue), and the
+	// response pays the same transfer time on its way back. Zero (the
+	// default) keeps the size-independent model where a megabyte fragment
+	// travels as fast as a scalar — set this to make answer size matter,
+	// as it does on the paper's wide-area links.
+	Bandwidth float64
 	// Seed feeds the jitter and fault sources; 0 uses a fixed default.
 	Seed int64
 }
@@ -142,6 +151,12 @@ type SimNet struct {
 	links    map[string]*sync.Mutex
 	rng      *rand.Rand
 	rngMu    sync.Mutex
+
+	// Traffic accounting: bytes and messages that completed a delivery
+	// (request payload plus response), read by benchmarks comparing the
+	// wire cost of strategies (e.g. raw gather vs pushed-down aggregation).
+	bytesTotal atomic.Int64
+	msgsTotal  atomic.Int64
 }
 
 // NewSimNet creates a simulated network.
@@ -258,7 +273,7 @@ func (n *SimNet) CallContext(ctx context.Context, site string, payload []byte) (
 			return nil, fmt.Errorf("%w en route to %q", ErrDropped, site)
 		}
 	}
-	if err := n.transmit(ctx, site); err != nil {
+	if err := n.transmit(ctx, site, len(payload)); err != nil {
 		return nil, err
 	}
 	if err := n.sleepOneWay(ctx); err != nil {
@@ -268,17 +283,47 @@ func (n *SimNet) CallContext(ctx context.Context, site string, payload []byte) (
 	if err != nil {
 		return nil, err
 	}
+	if err := sleepCtx(ctx, n.transferTime(len(resp))); err != nil {
+		return nil, err
+	}
 	if err := n.sleepOneWay(ctx); err != nil {
 		return nil, err
 	}
+	n.bytesTotal.Add(int64(len(payload) + len(resp)))
+	n.msgsTotal.Add(1)
 	return resp, nil
 }
 
-// transmit charges the per-message overhead serially on the destination's
-// ingress link: one message occupies the link at a time, so fan-outs of
-// many small messages queue while a single batch pays the cost once.
-func (n *SimNet) transmit(ctx context.Context, site string) error {
-	if n.cfg.PerMessage <= 0 {
+// BytesTotal returns the cumulative payload bytes (requests plus responses)
+// of every completed call on this network.
+func (n *SimNet) BytesTotal() int64 { return n.bytesTotal.Load() }
+
+// MessagesTotal returns the number of completed calls on this network.
+func (n *SimNet) MessagesTotal() int64 { return n.msgsTotal.Load() }
+
+// ResetTraffic zeroes the traffic counters (benchmark arms reset between
+// phases).
+func (n *SimNet) ResetTraffic() {
+	n.bytesTotal.Store(0)
+	n.msgsTotal.Store(0)
+}
+
+// transferTime is the size-dependent cost of moving one payload across a
+// bandwidth-limited link; zero when no bandwidth is configured.
+func (n *SimNet) transferTime(size int) time.Duration {
+	if n.cfg.Bandwidth <= 0 || size <= 0 {
+		return 0
+	}
+	return time.Duration(float64(size) / n.cfg.Bandwidth * float64(time.Second))
+}
+
+// transmit charges the per-message overhead plus the request's transfer
+// time serially on the destination's ingress link: one message occupies the
+// link at a time, so fan-outs of many small messages queue while a single
+// batch pays the fixed cost once, and big payloads hold the link longer.
+func (n *SimNet) transmit(ctx context.Context, site string, size int) error {
+	cost := n.cfg.PerMessage + n.transferTime(size)
+	if cost <= 0 {
 		return nil
 	}
 	n.mu.Lock()
@@ -290,7 +335,7 @@ func (n *SimNet) transmit(ctx context.Context, site string) error {
 	n.mu.Unlock()
 	mu.Lock()
 	defer mu.Unlock()
-	return sleepCtx(ctx, n.cfg.PerMessage)
+	return sleepCtx(ctx, cost)
 }
 
 func (n *SimNet) sleepOneWay(ctx context.Context) error {

@@ -410,3 +410,60 @@ func TestFrameCodec(t *testing.T) {
 		t.Fatal("oversized frame should be rejected")
 	}
 }
+
+func TestSimNetTrafficAccounting(t *testing.T) {
+	n := NewSimNet(SimConfig{})
+	echo := func(_ context.Context, p []byte) ([]byte, error) { return append([]byte("re:"), p...), nil }
+	if err := n.Register("a", echo); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Call("a", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	// 5 request bytes + 8 response bytes, one completed call.
+	if got := n.BytesTotal(); got != 13 {
+		t.Fatalf("BytesTotal = %d, want 13", got)
+	}
+	if got := n.MessagesTotal(); got != 1 {
+		t.Fatalf("MessagesTotal = %d, want 1", got)
+	}
+	// A failed call counts nothing.
+	if _, err := n.Call("nowhere", nil); err == nil {
+		t.Fatal("expected error")
+	}
+	if got := n.MessagesTotal(); got != 1 {
+		t.Fatalf("MessagesTotal after failure = %d, want 1", got)
+	}
+	n.ResetTraffic()
+	if n.BytesTotal() != 0 || n.MessagesTotal() != 0 {
+		t.Fatal("ResetTraffic did not zero the counters")
+	}
+}
+
+func TestSimNetBandwidthChargesBySize(t *testing.T) {
+	// 1 MB/s: a 50 KB payload takes ~50ms each way; a tiny one is ~free.
+	n := NewSimNet(SimConfig{Bandwidth: 1 << 20})
+	echo := func(_ context.Context, p []byte) ([]byte, error) { return p, nil }
+	if err := n.Register("a", echo); err != nil {
+		t.Fatal(err)
+	}
+	big := bytes.Repeat([]byte("x"), 50<<10)
+	t0 := time.Now()
+	if _, err := n.Call("a", big); err != nil {
+		t.Fatal(err)
+	}
+	bigDur := time.Since(t0)
+	t0 = time.Now()
+	if _, err := n.Call("a", []byte("s")); err != nil {
+		t.Fatal(err)
+	}
+	smallDur := time.Since(t0)
+	// Request + response transfers: ~95ms for the big call. Allow slack for
+	// scheduler noise but demand a clear size effect.
+	if bigDur < 60*time.Millisecond {
+		t.Fatalf("big transfer took %v, want >= 60ms at 1MiB/s", bigDur)
+	}
+	if smallDur > bigDur/3 {
+		t.Fatalf("small transfer %v not clearly cheaper than big %v", smallDur, bigDur)
+	}
+}

@@ -1,0 +1,88 @@
+package xpath
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseAggregateAllFunctions(t *testing.T) {
+	inner := "/usRegion[@id='NE']/state[@id='PA']/county[@id='A']/city[@id='C']/neighborhood/block/parkingSpace/price"
+	for _, fn := range []struct {
+		name string
+		want AggFunc
+	}{
+		{"count", AggCount}, {"sum", AggSum}, {"avg", AggAvg}, {"min", AggMin}, {"max", AggMax},
+	} {
+		q := fn.name + "(" + inner + ")"
+		agg, ok, err := ParseAggregate(q)
+		if err != nil || !ok {
+			t.Fatalf("ParseAggregate(%q) = ok=%v err=%v", q, ok, err)
+		}
+		if agg.Fn != fn.want {
+			t.Fatalf("%q parsed as %v, want %v", q, agg.Fn, fn.want)
+		}
+		// InnerSource renders the parsed path (predicates normalized); it
+		// must itself parse and be render-stable.
+		rt, err := Parse(agg.InnerSource())
+		if err != nil {
+			t.Fatalf("%q inner %q does not re-parse: %v", q, agg.InnerSource(), err)
+		}
+		if p, isPath := rt.(*Path); !isPath || p.String() != agg.InnerSource() {
+			t.Fatalf("%q inner %q not render-stable", q, agg.InnerSource())
+		}
+		if agg.Source != q {
+			t.Fatalf("%q source = %q", q, agg.Source)
+		}
+	}
+}
+
+func TestParseAggregateNotAggregateShaped(t *testing.T) {
+	// Plain paths, unions and unknown functions are not aggregate queries;
+	// they flow down the ordinary query path without error.
+	for _, q := range []string{
+		"/usRegion[@id='NE']/state",
+		"/a/b | /a/c",
+		"concat(/a, /b)",
+		"not a query at all ((",
+	} {
+		if _, ok, err := ParseAggregate(q); ok || err != nil {
+			t.Fatalf("ParseAggregate(%q) = ok=%v err=%v, want ok=false err=nil", q, ok, err)
+		}
+	}
+}
+
+func TestParseAggregateRejectsUnsupportedForms(t *testing.T) {
+	for _, tc := range []struct {
+		q, wantErr string
+	}{
+		{"count(/a, /b)", "exactly one"},
+		{"count()", "exactly one"},
+		{"sum(count(/a))", "nested aggregate"},
+		{"count(/a | /b)", "location path"},
+		{"sum(1 + 2)", "location path"},
+		{"count(a/b)", "absolute"},
+	} {
+		_, ok, err := ParseAggregate(tc.q)
+		if err == nil {
+			t.Fatalf("ParseAggregate(%q) accepted (ok=%v), want error containing %q", tc.q, ok, tc.wantErr)
+		}
+		if !ok {
+			t.Fatalf("ParseAggregate(%q) not marked aggregate-shaped", tc.q)
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Fatalf("ParseAggregate(%q) error %q does not mention %q", tc.q, err, tc.wantErr)
+		}
+	}
+}
+
+func TestParseAggFuncRoundTrip(t *testing.T) {
+	for _, name := range []string{"count", "sum", "avg", "min", "max"} {
+		fn, ok := ParseAggFunc(name)
+		if !ok || fn.String() != name {
+			t.Fatalf("ParseAggFunc(%q) = %v, %v", name, fn, ok)
+		}
+	}
+	if _, ok := ParseAggFunc("median"); ok {
+		t.Fatal("ParseAggFunc accepted an unknown function")
+	}
+}

@@ -50,7 +50,10 @@ for series in irisnet_queries_total irisnet_cache_hits_total irisnet_cache_misse
     irisnet_coalesced_subqueries_total irisnet_subquery_batch_size \
     irisnet_answer_staleness_seconds irisnet_cache_age_seconds \
     irisnet_predicate_margin_seconds irisnet_answer_cache_bytes_total \
-    irisnet_answer_owned_bytes_total irisnet_answer_fetched_bytes_total; do
+    irisnet_answer_owned_bytes_total irisnet_answer_fetched_bytes_total \
+    irisnet_aggregate_pushdowns_total irisnet_aggregate_fallbacks_total \
+    irisnet_gather_bytes_saved_total irisnet_aggregate_summary_hits_total \
+    irisnet_summary_cache_bytes; do
     if ! printf '%s\n' "$METRICS" | grep -q "^$series"; then
         echo "metrics-smoke: /metrics missing series $series" >&2
         printf '%s\n' "$METRICS" >&2
