@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci build fmt vet lint test race-stress bench-smoke metrics-smoke cache-smoke localeval-smoke aggregate-smoke perf-gate
+.PHONY: ci build fmt vet lint test race-stress bench-smoke metrics-smoke cache-smoke localeval-smoke aggregate-smoke replication-smoke perf-gate
 
-ci: build fmt lint test race-stress bench-smoke metrics-smoke cache-smoke localeval-smoke aggregate-smoke perf-gate
+ci: build fmt lint test race-stress bench-smoke metrics-smoke cache-smoke localeval-smoke aggregate-smoke replication-smoke perf-gate
 
 build:
 	$(GO) build ./...
@@ -70,6 +70,13 @@ localeval-smoke:
 # than the raw-gather baseline) are still computed and enforced.
 aggregate-smoke:
 	./scripts/aggregate_smoke.sh
+
+# Replication experiment in smoke mode: short arms, but the acceptance
+# checks (>=2.5x aggregate QPS with 3 read replicas, strict/tolerant
+# byte-identity, lossless mid-load failover) are still computed and
+# enforced.
+replication-smoke:
+	./scripts/replication_smoke.sh
 
 # Benchmarks HEAD against its merge base and fails on a >15% median ns/op
 # regression in the tier-1 benchmarks (BenchmarkSnapshotQuery,

@@ -1,0 +1,599 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"irisnet/internal/cluster"
+	"irisnet/internal/metrics"
+	"irisnet/internal/service"
+	"irisnet/internal/trace"
+	"irisnet/internal/workload"
+	"irisnet/internal/xmldb"
+)
+
+// runReplication measures owner-push replication with read scale-out
+// (BENCH_PR9): a Zipf hot-spot query workload concentrated on one
+// neighborhood, answered three ways —
+//
+//   - baseline: no replicas; every hot query queues on the one owner site;
+//   - replicated: three read replicas subscribe to the hot subtree and
+//     freshness-tolerant queries spread over them by rendezvous hashing;
+//   - failover: the owner is partitioned away mid-load, the
+//     highest-watermark replica promotes itself, and the load continues.
+//
+// Acceptance: >=2.5x aggregate QPS with 3 replicas vs the single owner;
+// freshness-strict queries route to the owner and return byte-identical
+// answers to an owner-only deployment (and replica-served tolerant answers
+// are byte-identical too); the owner kill loses no acknowledged update and
+// no client ever observes an answer behind one it already saw (checked via
+// the per-space timestamps the provenance machinery stamps on answers).
+func runReplication() {
+	dur := *durFlag
+	cl := *clients
+	if *shortFlag {
+		if dur > 900*time.Millisecond {
+			dur = 900 * time.Millisecond
+		}
+		// Keep the full client count: the replicated arm needs enough
+		// closed-loop concurrency to saturate all three replicas.
+	}
+	header(fmt.Sprintf("Owner-push replication with read scale-out (dur=%v, clients=%d)", dur, cl))
+
+	rep := replReport{
+		Experiment:   "replication",
+		DurationSecs: dur.Seconds(),
+		Clients:      cl,
+		Replicas:     replReplicaCount,
+		Short:        *shortFlag,
+	}
+
+	fmt.Printf("%-12s %8s %8s %8s %9s %9s %12s %12s %10s\n",
+		"arm", "replicas", "queries", "errors", "qps", "p50-ms", "owner-q", "replica-q", "batches")
+	rep.Baseline = replThroughputArm(dur, cl, 0)
+	replPrintArm(rep.Baseline)
+	rep.Replicated = replThroughputArm(dur, cl, replReplicaCount)
+	replPrintArm(rep.Replicated)
+	if rep.Baseline.QPS > 0 {
+		rep.ScaleX = rep.Replicated.QPS / rep.Baseline.QPS
+	}
+	rep.PassScale = rep.ScaleX >= 2.5
+
+	rep.StrictChecked, rep.PassStrict = replStrictIdentity()
+	rep.Failover = replFailover(dur, cl)
+	rep.PassFailover = rep.Failover.Errors == 0 &&
+		rep.Failover.LostUpdates == 0 &&
+		rep.Failover.TsRegressions == 0 &&
+		rep.Failover.ReplicaServed > 0 &&
+		rep.Failover.UpdatesAcked > 0
+	rep.Pass = rep.PassScale && rep.PassStrict && rep.PassFailover
+
+	fmt.Printf("\nacceptance: qps x%.2f with %d replicas (>=2.5)=%v; strict/replica byte-identity over %d checks=%v\n",
+		rep.ScaleX, replReplicaCount, rep.PassScale, rep.StrictChecked, rep.PassStrict)
+	fmt.Printf("failover: promoted=%s acked=%d lost=%d ts-regressions=%d errors=%d replica-served=%d pass=%v\n",
+		rep.Failover.Promoted, rep.Failover.UpdatesAcked, rep.Failover.LostUpdates,
+		rep.Failover.TsRegressions, rep.Failover.Errors, rep.Failover.ReplicaServed, rep.PassFailover)
+	fmt.Printf("overall pass=%v\n", rep.Pass)
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	fatal(err)
+	buf = append(buf, '\n')
+	fatal(os.WriteFile("BENCH_PR9.json", buf, 0o644))
+	fmt.Println("wrote BENCH_PR9.json")
+}
+
+const (
+	replHotCity      = 0
+	replHotNB        = 0
+	replReplicaCount = 3
+	// replMaxLagSec is the lag bound replicas register with. The tolerant
+	// workload queries carry no freshness conjunct (tolerance +Inf), so any
+	// registered bound admits them; strict queries ignore it entirely.
+	replMaxLagSec = 3600.0
+	// replFlush is the owner flush cadence: steady-state replication lag is
+	// about one interval plus one hop.
+	replFlush = 2 * time.Millisecond
+)
+
+type replReport struct {
+	Experiment    string            `json:"experiment"`
+	DurationSecs  float64           `json:"duration_secs"`
+	Clients       int               `json:"clients"`
+	Replicas      int               `json:"replicas"`
+	Short         bool              `json:"short"`
+	Baseline      replArmStats      `json:"baseline"`
+	Replicated    replArmStats      `json:"replicated"`
+	ScaleX        float64           `json:"qps_scale_x"`
+	PassScale     bool              `json:"pass_scale"`
+	StrictChecked int               `json:"strict_checks"`
+	PassStrict    bool              `json:"pass_strict_identity"`
+	Failover      replFailoverStats `json:"failover"`
+	PassFailover  bool              `json:"pass_failover"`
+	Pass          bool              `json:"pass"`
+}
+
+type replArmStats struct {
+	Arm            string  `json:"arm"`
+	Replicas       int     `json:"replicas"`
+	Queries        int64   `json:"queries"`
+	Errors         int64   `json:"errors"`
+	QPS            float64 `json:"qps"`
+	P50Ms          float64 `json:"p50_ms"`
+	OwnerQueries   int64   `json:"owner_queries"`
+	ReplicaQueries int64   `json:"replica_queries"`
+	BatchesApplied int64   `json:"replica_batches_applied"`
+	UpdatesAcked   int     `json:"updates_acked"`
+}
+
+type replFailoverStats struct {
+	Promoted          string  `json:"promoted"`
+	PromotedWatermark float64 `json:"promoted_watermark"`
+	Queries           int64   `json:"queries"`
+	Errors            int64   `json:"errors"`
+	UpdatesAcked      int     `json:"updates_acked"`
+	LostUpdates       int     `json:"lost_updates"`
+	TsRegressions     int64   `json:"ts_regressions"`
+	ReplicaServed     int64   `json:"replica_served_sampled"`
+}
+
+// replCluster builds the hierarchical cluster with nReplicas read replicas
+// of the hot neighborhood. The DNS TTL is kept short so failover repoints
+// resolver caches within the run.
+func replCluster(nReplicas int) (*cluster.Cluster, []string) {
+	cfg := cluster.PaperCalibration(cluster.Config{DB: workload.PaperSmall()})
+	cfg.Seed = 7
+	cfg.DNSTTL = 50 * time.Millisecond
+	cfg.ReplicaFlushInterval = replFlush
+	cfg.CallTimeout = 250 * time.Millisecond
+	cfg.QueryTimeout = 2 * time.Second
+	c, err := cluster.New(cluster.Hierarchical, cfg)
+	fatal(err)
+	hot := c.DB.NeighborhoodPath(replHotCity, replHotNB)
+	owner := c.Sites[cluster.NBSiteName(replHotCity, replHotNB)]
+	var names []string
+	for i := 1; i <= nReplicas; i++ {
+		name := fmt.Sprintf("replica-%d", i)
+		_, err := c.AddReplicaSite(name)
+		fatal(err)
+		fatal(owner.AddReadReplica(hot, name, replMaxLagSec))
+		names = append(names, name)
+	}
+	return c, names
+}
+
+// replHotKeys is the hot-spot key space: distinct query texts over the hot
+// neighborhood's blocks (the rendezvous hash pins each text to one
+// replica, so distinct texts are what spreads load). All are
+// freshness-tolerant: no consistency conjunct means tolerance +Inf.
+func replHotKeys(db *workload.DB) []string {
+	var qs []string
+	for b := 0; b < db.Cfg.Blocks; b++ {
+		qs = append(qs, db.BlockQuery(replHotCity, replHotNB, b))
+		qs = append(qs, db.TwoBlockQuery(replHotCity, replHotNB, b, (b+1)%db.Cfg.Blocks))
+	}
+	return qs
+}
+
+// replNewZipf shapes hot-key popularity: a clear hot spot (the top key
+// draws ~9% of hot traffic, five times its uniform share) without being so
+// degenerate that a single key's rendezvous placement decides the whole
+// experiment.
+func replNewZipf(rng *rand.Rand, nKeys int) *rand.Zipf {
+	return rand.NewZipf(rng, 1.05, 4, uint64(nKeys-1))
+}
+
+// replUpdater drives sensor updates at the hot neighborhood's spaces
+// through the normal resolve-then-send path, retrying failures (a dead
+// owner) until the registry repoints. A globally increasing sequence is
+// written as the price field; acked records the last acknowledged value
+// per path, the ground truth for the zero-loss check.
+type replUpdater struct {
+	fe       *service.Frontend
+	paths    []xmldb.IDPath
+	interval time.Duration
+
+	seq   int
+	mu    sync.Mutex
+	acked map[string]int
+}
+
+func newReplUpdater(c *cluster.Cluster, interval time.Duration) *replUpdater {
+	hotPrefix := c.DB.NeighborhoodPath(replHotCity, replHotNB).Key() + "/"
+	var paths []xmldb.IDPath
+	for _, p := range c.DB.SpacePaths {
+		if strings.HasPrefix(p.Key(), hotPrefix) {
+			paths = append(paths, p)
+		}
+		if len(paths) == 24 {
+			break
+		}
+	}
+	return &replUpdater{fe: c.NewFrontend(), paths: paths, interval: interval,
+		acked: map[string]int{}}
+}
+
+// run loops until stop closes; it survives owner failure by retrying.
+func (u *replUpdater) run(stop <-chan struct{}) {
+	for i := 0; ; i++ {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		p := u.paths[i%len(u.paths)]
+		u.seq++
+		v := u.seq
+		fields := map[string]string{"available": "yes", "price": strconv.Itoa(v)}
+		for {
+			if err := u.fe.Update(p, fields, nil); err == nil {
+				break
+			}
+			select {
+			case <-stop:
+				return // never acked; not recorded
+			case <-time.After(10 * time.Millisecond):
+			}
+		}
+		u.mu.Lock()
+		u.acked[p.Key()] = v
+		u.mu.Unlock()
+		time.Sleep(u.interval)
+	}
+}
+
+func (u *replUpdater) ackedSnapshot() map[string]int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	out := make(map[string]int, len(u.acked))
+	for k, v := range u.acked {
+		out[k] = v
+	}
+	return out
+}
+
+// verifyAcked queries every acknowledged path through fe and counts paths
+// whose stored price does not match the last acked sequence.
+func verifyAcked(fe *service.Frontend, acked map[string]int) (lost int) {
+	for key, want := range acked {
+		nodes, err := fe.Query(key)
+		if err != nil || len(nodes) != 1 {
+			lost++
+			continue
+		}
+		price := nodes[0].ChildNamed("price")
+		if price == nil || price.Text != strconv.Itoa(want) {
+			lost++
+		}
+	}
+	return lost
+}
+
+// replThroughputArm runs the Zipf hot-spot closed loop against a cluster
+// with the given replica count and reports aggregate throughput.
+func replThroughputArm(dur time.Duration, cl, nReplicas int) replArmStats {
+	c, replicas := replCluster(nReplicas)
+	defer c.Close()
+	hotKeys := replHotKeys(c.DB)
+
+	// The sensor-update stream runs in both arms: the owner absorbs writes
+	// (and, in the replicated arm, streams the deltas) while reads scale
+	// out. ~5ms between updates puts the write load in the regime of the
+	// paper's per-OA update rates.
+	upd := newReplUpdater(c, 5*time.Millisecond)
+	stopU := make(chan struct{})
+	var wgU sync.WaitGroup
+	wgU.Add(1)
+	go func() { defer wgU.Done(); upd.run(stopU) }()
+
+	lat := metrics.NewHistogram(0)
+	var queries, errs atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < cl; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			fe := c.NewFrontend()
+			rng := rand.New(rand.NewSource(int64(id) + 1))
+			zipf := replNewZipf(rng, len(hotKeys))
+			for !stop.Load() {
+				q := replNextQuery(c.DB, rng, zipf, hotKeys)
+				t0 := time.Now()
+				if _, err := fe.Query(q); err != nil {
+					errs.Add(1)
+					continue
+				}
+				lat.Observe(time.Since(t0))
+				queries.Add(1)
+			}
+		}(i)
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	close(stopU)
+	wgU.Wait()
+
+	name := "baseline"
+	if nReplicas > 0 {
+		name = "replicated"
+	}
+	st := replArmStats{
+		Arm: name, Replicas: nReplicas,
+		Queries: queries.Load(), Errors: errs.Load(),
+		QPS:          float64(queries.Load()) / dur.Seconds(),
+		P50Ms:        ms(lat.Quantile(0.5)),
+		OwnerQueries: c.Sites[cluster.NBSiteName(replHotCity, replHotNB)].Metrics.Queries.Value(),
+		UpdatesAcked: len(upd.ackedSnapshot()),
+	}
+	for _, r := range replicas {
+		st.ReplicaQueries += c.Sites[r].Metrics.Queries.Value()
+		st.BatchesApplied += c.Sites[r].Metrics.ReplicaBatchesApplied.Value()
+	}
+	return st
+}
+
+// replNextQuery draws the next query: 90% Zipf over the hot key space,
+// 10% uniform over the cold neighborhoods.
+func replNextQuery(db *workload.DB, rng *rand.Rand, zipf *rand.Zipf, hotKeys []string) string {
+	if rng.Intn(100) < 90 {
+		return hotKeys[int(zipf.Uint64())]
+	}
+	idx := rng.Intn(db.Cfg.Cities*db.Cfg.Neighborhoods-1) + 1 // skip (0,0)
+	return db.BlockQuery(idx/db.Cfg.Neighborhoods, idx%db.Cfg.Neighborhoods, rng.Intn(db.Cfg.Blocks))
+}
+
+func replPrintArm(st replArmStats) {
+	fmt.Printf("%-12s %8d %8d %8d %9.1f %9.1f %12d %12d %10d\n",
+		st.Arm, st.Replicas, st.Queries, st.Errors, st.QPS, st.P50Ms,
+		st.OwnerQueries, st.ReplicaQueries, st.BatchesApplied)
+}
+
+// replStrictIdentity checks the routing and byte-identity contract on
+// quiescent data: strict queries (a consistency conjunct outside the
+// time-invariant subset) route to the owner; tolerant queries route to a
+// replica; and both return byte-identical answers to the same query on a
+// deployment with no replicas at all.
+func replStrictIdentity() (checked int, pass bool) {
+	withReps, replicas := replCluster(replReplicaCount)
+	defer withReps.Close()
+	ownerOnly, _ := replCluster(0)
+	defer ownerOnly.Close()
+
+	isReplica := map[string]bool{}
+	for _, r := range replicas {
+		isReplica[r] = true
+	}
+	ownerName := cluster.NBSiteName(replHotCity, replHotNB)
+	fe := withReps.NewFrontend()
+	feRef := ownerOnly.NewFrontend()
+
+	pass = true
+	for b := 0; b < withReps.DB.Cfg.Blocks; b++ {
+		tolerant := withReps.DB.BlockQuery(replHotCity, replHotNB, b)
+		// @ts compared against an absolute time is outside the
+		// time-invariant subset: tolerance 0, owner-only.
+		strict := tolerant + "[@ts >= 0]"
+
+		if entry, _, err := fe.RouteOf(strict); err != nil || entry != ownerName {
+			fmt.Printf("  STRICT ROUTE FAIL: %q -> %q (%v)\n", strict, entry, err)
+			pass = false
+		}
+		entry, _, err := fe.RouteOf(tolerant)
+		if err != nil || !isReplica[entry] {
+			fmt.Printf("  TOLERANT ROUTE FAIL: %q -> %q (%v)\n", tolerant, entry, err)
+			pass = false
+		}
+		for _, q := range []string{strict, tolerant} {
+			got, err := replCanonAnswer(fe, q)
+			if err != nil {
+				fmt.Printf("  QUERY FAIL: %q: %v\n", q, err)
+				pass = false
+				continue
+			}
+			want, err := replCanonAnswer(feRef, q)
+			if err != nil {
+				fatal(err)
+			}
+			if got != want {
+				fmt.Printf("  BYTE-IDENTITY FAIL: %q\n", q)
+				pass = false
+			}
+			checked++
+		}
+	}
+	fmt.Printf("strict/tolerant identity: %d answers compared against owner-only deployment, pass=%v\n", checked, pass)
+	return checked, pass
+}
+
+// replCanonAnswer renders a query's answer as sorted canonical XML, the
+// byte-identity comparison key.
+func replCanonAnswer(fe *service.Frontend, q string) (string, error) {
+	nodes, err := fe.Query(q)
+	if err != nil {
+		return "", err
+	}
+	out := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		out = append(out, n.Canonical())
+	}
+	sort.Strings(out)
+	return strings.Join(out, "\n"), nil
+}
+
+// replFailover kills the hot owner mid-load and promotes the
+// highest-watermark replica. Update acks are drained to the replica tier
+// before the kill (bounding async-tail loss at zero for the gate; steady
+// state it is one flush interval), queries never pause, and every client
+// tracks per-space answer timestamps to prove no answer went backwards in
+// time across the promotion.
+func replFailover(dur time.Duration, cl int) replFailoverStats {
+	phase := dur / 2
+	if phase < 400*time.Millisecond {
+		phase = 400 * time.Millisecond
+	}
+	c, replicas := replCluster(replReplicaCount)
+	defer c.Close()
+	db := c.DB
+	hot := db.NeighborhoodPath(replHotCity, replHotNB)
+	ownerName := cluster.NBSiteName(replHotCity, replHotNB)
+
+	// BlockQuery keys only: parkingSpace ids are unique within one block's
+	// answer, so (key, space id) identifies a sensor for the monotone check.
+	var hotKeys []string
+	for b := 0; b < db.Cfg.Blocks; b++ {
+		hotKeys = append(hotKeys, db.BlockQuery(replHotCity, replHotNB, b))
+	}
+
+	var queries, errs, regressions, replicaServed atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < cl; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			fe := c.NewFrontend()
+			rng := rand.New(rand.NewSource(int64(id) + 100))
+			zipf := replNewZipf(rng, len(hotKeys))
+			lastTS := map[string]float64{} // "query|spaceID" -> max ts seen
+			for n := 0; !stop.Load(); n++ {
+				q := hotKeys[int(zipf.Uint64())]
+				var nodes []*xmldb.Node
+				var err error
+				if n%16 == 0 {
+					// Sampled provenance: the answer's freshness ledger must
+					// say a replica (nonzero lag behind the owner) served it.
+					var ans *service.Answer
+					var span *trace.Span
+					ans, span, err = fe.QueryTrace(context.Background(), q)
+					if err == nil {
+						nodes = ans.Nodes
+						if fr := trace.AggregateFreshness(span); fr != nil && fr.ReplicaLagSec > 0 {
+							replicaServed.Add(1)
+						}
+					}
+				} else {
+					nodes, err = fe.Query(q)
+				}
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				queries.Add(1)
+				for _, sp := range nodes {
+					tsText, ok := sp.Attr(xmldb.AttrTimestamp)
+					if !ok {
+						continue
+					}
+					ts, perr := strconv.ParseFloat(tsText, 64)
+					if perr != nil {
+						continue
+					}
+					k := q + "|" + sp.ID()
+					if ts < lastTS[k]-1e-9 {
+						regressions.Add(1)
+					} else if ts > lastTS[k] {
+						lastTS[k] = ts
+					}
+				}
+			}
+		}(i)
+	}
+
+	upd := newReplUpdater(c, 10*time.Millisecond)
+	stopU := make(chan struct{})
+	var wgU sync.WaitGroup
+	wgU.Add(1)
+	go func() { defer wgU.Done(); upd.run(stopU) }()
+
+	time.Sleep(phase)
+
+	// Pause updates and let the stream drain so every acknowledged update
+	// reaches the replica tier before the owner dies.
+	close(stopU)
+	wgU.Wait()
+	pauseClock := float64(time.Now().UnixNano()) / 1e9
+	replAwaitWatermarks(c, replicas, hot, pauseClock)
+	acked := upd.ackedSnapshot()
+
+	// Kill the owner mid-query-load and promote the freshest replica.
+	c.Net.Partition(ownerName)
+	c.Sites[ownerName].Stop()
+	promoted := ""
+	bestW := -1.0
+	for _, r := range replicas {
+		if w, ok := c.Sites[r].ReplicaWatermark(hot); ok && w > bestW {
+			promoted, bestW = r, w
+		}
+	}
+	newOwner := c.Sites[promoted]
+	fatal(newOwner.Promote(hot))
+	// Surviving replicas re-subscribe to the promoted owner.
+	for _, r := range replicas {
+		if r != promoted {
+			fatal(newOwner.AddReadReplica(hot, r, replMaxLagSec))
+		}
+	}
+
+	// Zero-loss gate, immediately after promotion: every acknowledged
+	// update is present at the new owner.
+	feOwner := c.NewFrontend()
+	feOwner.ForceEntry = promoted
+	lost := verifyAcked(feOwner, acked)
+
+	// Updates resume against the repointed registry; load never stopped.
+	stopU2 := make(chan struct{})
+	wgU.Add(1)
+	go func() { defer wgU.Done(); upd.run(stopU2) }()
+	time.Sleep(phase)
+	stop.Store(true)
+	wg.Wait()
+	close(stopU2)
+	wgU.Wait()
+
+	// Final zero-loss check over everything acked across both phases.
+	finalAcked := upd.ackedSnapshot()
+	lost += verifyAcked(feOwner, finalAcked)
+
+	return replFailoverStats{
+		Promoted:          promoted,
+		PromotedWatermark: bestW,
+		Queries:           queries.Load(),
+		Errors:            errs.Load(),
+		UpdatesAcked:      len(finalAcked),
+		LostUpdates:       lost,
+		TsRegressions:     regressions.Load(),
+		ReplicaServed:     replicaServed.Load(),
+	}
+}
+
+// replAwaitWatermarks polls until every replica's watermark passes mark,
+// i.e. all commits acknowledged before the pause have been applied
+// everywhere.
+func replAwaitWatermarks(c *cluster.Cluster, replicas []string, root xmldb.IDPath, mark float64) {
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		ok := true
+		for _, r := range replicas {
+			if w, has := c.Sites[r].ReplicaWatermark(root); !has || w < mark {
+				ok = false
+			}
+		}
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			fatal(fmt.Errorf("replication: replicas never drained to watermark %.3f", mark))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

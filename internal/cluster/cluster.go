@@ -134,6 +134,10 @@ type Config struct {
 	// every site (the irisbench obs-overhead baseline arm). See
 	// site.Config.DisableFreshnessLedger.
 	DisableFreshnessLedger bool
+	// ReplicaFlushInterval sets how often owners push committed deltas to
+	// their read replicas; zero uses site.DefaultReplicaFlushInterval. See
+	// site.Config.ReplicaFlushInterval.
+	ReplicaFlushInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -227,6 +231,7 @@ func New(arch Architecture, cfg Config) (*Cluster, error) {
 			DisableCoalescing: cfg.DisableCoalescing,
 
 			DisableFreshnessLedger: cfg.DisableFreshnessLedger,
+			ReplicaFlushInterval:   cfg.ReplicaFlushInterval,
 		}, workload.RootName, workload.RootID)
 		s.Load(stores[name], owned[name])
 		if err := s.Start(); err != nil {
@@ -237,6 +242,39 @@ func New(arch Architecture, cfg Config) (*Cluster, error) {
 	}
 	c.Registry.RegisterSubtree(db.Doc, workload.Service, assign.OwnerOf)
 	return c, nil
+}
+
+// AddReplicaSite starts an empty site (owning nothing) wired into the
+// cluster's network, registry and metrics, ready to subscribe as a read
+// replica via owner.AddReadReplica. The site appears in c.Sites so Close
+// stops it.
+func (c *Cluster) AddReplicaSite(name string) (*site.Site, error) {
+	if _, ok := c.Sites[name]; ok {
+		return nil, fmt.Errorf("cluster: site %q already exists", name)
+	}
+	cfg := c.Cfg
+	s := site.New(site.Config{
+		Name:                 name,
+		Service:              workload.Service,
+		Net:                  c.Net,
+		DNS:                  c.NewResolver(),
+		Registry:             c.Registry,
+		Schema:               c.DB.Schema,
+		CPUSlots:             cfg.CPUSlots,
+		QueryWork:            cfg.QueryWork,
+		PerNodeWork:          cfg.PerNodeWork,
+		UpdateWork:           cfg.UpdateWork,
+		Clock:                cfg.Clock,
+		CallTimeout:          cfg.CallTimeout,
+		Retry:                cfg.Retry,
+		ReplicaFlushInterval: cfg.ReplicaFlushInterval,
+	}, workload.RootName, workload.RootID)
+	if err := s.Start(); err != nil {
+		return nil, err
+	}
+	s.Register(c.Metrics)
+	c.Sites[name] = s
+	return s, nil
 }
 
 // Close stops all sites.
@@ -338,6 +376,7 @@ func BalancedSkewCluster(cfg Config, hotCity, hotNB int) (*Cluster, error) {
 			DisableBatching: cfg.DisableBatching, BatchByteCap: cfg.BatchByteCap,
 			DisableCoalescing:      cfg.DisableCoalescing,
 			DisableFreshnessLedger: cfg.DisableFreshnessLedger,
+			ReplicaFlushInterval:   cfg.ReplicaFlushInterval,
 		}, workload.RootName, workload.RootID)
 		s.Load(stores[name], owned[name])
 		if err := s.Start(); err != nil {

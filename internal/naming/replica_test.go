@@ -1,0 +1,317 @@
+package naming
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"irisnet/internal/xmldb"
+)
+
+// xmldbParse is the benchmark-friendly variant of the path helper.
+func xmldbParse(s string) (xmldb.IDPath, error) { return xmldb.ParseIDPath(s) }
+
+func TestReplicaSetRegistration(t *testing.T) {
+	r := NewRegistry()
+	r.Set("oak.p.svc", "owner")
+	if reps := r.LookupReplicas("oak.p.svc"); reps != nil {
+		t.Fatalf("unreplicated name has replicas: %v", reps)
+	}
+	r.AddReplica("oak.p.svc", ReplicaInfo{Site: "r1", MaxLagSec: 5})
+	r.AddReplica("oak.p.svc", ReplicaInfo{Site: "r2", MaxLagSec: 5})
+	if got := len(r.LookupReplicas("oak.p.svc")); got != 2 {
+		t.Fatalf("replica count = %d, want 2", got)
+	}
+	// Re-adding the same site refreshes its lag bound without duplicating.
+	r.AddReplica("oak.p.svc", ReplicaInfo{Site: "r1", MaxLagSec: 9})
+	reps := r.LookupReplicas("oak.p.svc")
+	if len(reps) != 2 {
+		t.Fatalf("replica count after refresh = %d, want 2", len(reps))
+	}
+	found := false
+	for _, e := range reps {
+		if e.Site == "r1" {
+			found = true
+			if e.MaxLagSec != 9 {
+				t.Fatalf("refreshed lag bound = %v, want 9", e.MaxLagSec)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("r1 missing after refresh")
+	}
+	r.RemoveReplica("oak.p.svc", "r1")
+	r.RemoveReplica("oak.p.svc", "r2")
+	if reps := r.LookupReplicas("oak.p.svc"); reps != nil {
+		t.Fatalf("replicas survive removal: %v", reps)
+	}
+	// Owner entry untouched by replica churn.
+	if s, _ := r.Lookup("oak.p.svc"); s != "owner" {
+		t.Fatalf("owner = %q", s)
+	}
+}
+
+func TestResolveReadRouting(t *testing.T) {
+	r := NewRegistry()
+	p := path(t, pgh)
+	name := DNSName(p, "svc")
+	r.Set(name, "owner")
+	r.AddReplica(name, ReplicaInfo{Site: "rep1", MaxLagSec: 10})
+	r.AddReplica(name, ReplicaInfo{Site: "rep2", MaxLagSec: 10})
+	r.AddReplica(name, ReplicaInfo{Site: "rep3", MaxLagSec: 10})
+	c := NewClient(r, "svc", 0, nil)
+
+	// Strict queries (no staleness tolerance) always hit the owner.
+	if site, rep, err := c.ResolveRead(p, 0, "k", ""); err != nil || rep || site != "owner" {
+		t.Fatalf("strict read = %q replica=%v err=%v", site, rep, err)
+	}
+	// Tolerance tighter than every lag bound: owner again.
+	if site, rep, _ := c.ResolveRead(p, 5, "k", ""); rep || site != "owner" {
+		t.Fatalf("tight-tolerance read = %q replica=%v", site, rep)
+	}
+	// Tolerant read lands on a replica, and the same key pins to the same
+	// replica (monotonic reads per key).
+	first, rep, err := c.ResolveRead(p, 30, "key-A", "")
+	if err != nil || !rep {
+		t.Fatalf("tolerant read: site=%q replica=%v err=%v", first, rep, err)
+	}
+	for i := 0; i < 10; i++ {
+		if s, _, _ := c.ResolveRead(p, 30, "key-A", ""); s != first {
+			t.Fatalf("key pinning broken: %q then %q", first, s)
+		}
+	}
+	// Different keys spread across the set.
+	seen := map[string]bool{}
+	for i := 0; i < 64; i++ {
+		s, _, _ := c.ResolveRead(p, 30, fmt.Sprintf("key-%d", i), "")
+		seen[s] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("rendezvous routing did not spread keys: %v", seen)
+	}
+	// Excluding the pinned replica remaps that key elsewhere.
+	if s, _, _ := c.ResolveRead(p, 30, "key-A", first); s == first {
+		t.Fatalf("exclusion ignored: still %q", s)
+	}
+	// All replicas excluded or removed: fall back to owner.
+	r.RemoveReplica(name, "rep1")
+	r.RemoveReplica(name, "rep2")
+	r.RemoveReplica(name, "rep3")
+	if s, rep, _ := c.ResolveRead(p, 30, "key-A", ""); rep || s != "owner" {
+		t.Fatalf("post-removal read = %q replica=%v", s, rep)
+	}
+}
+
+// plainStore hides Registry's ReplicaStore methods, modeling a registry
+// backend that predates replication.
+type plainStore struct{ r *Registry }
+
+func (s plainStore) Lookup(name string) (string, bool) { return s.r.Lookup(name) }
+func (s plainStore) Set(name, site string)             { s.r.Set(name, site) }
+
+func TestResolveReadWithoutReplicaStore(t *testing.T) {
+	r := NewRegistry()
+	p := path(t, pgh)
+	r.Set(DNSName(p, "svc"), "owner")
+	c := NewClient(plainStore{r}, "svc", 0, nil)
+	site, rep, err := c.ResolveRead(p, 30, "k", "")
+	if err != nil || rep || site != "owner" {
+		t.Fatalf("ResolveRead over plain Store = %q replica=%v err=%v", site, rep, err)
+	}
+}
+
+func TestResolveReadReplicaCacheTTL(t *testing.T) {
+	r := NewRegistry()
+	p := path(t, pgh)
+	name := DNSName(p, "svc")
+	r.Set(name, "owner")
+	r.AddReplica(name, ReplicaInfo{Site: "rep1", MaxLagSec: 10})
+	now := time.Unix(0, 0)
+	c := NewClient(r, "svc", time.Minute, func() time.Time { return now })
+	if _, rep, _ := c.ResolveRead(p, 30, "k", ""); !rep {
+		t.Fatal("first read should use the replica")
+	}
+	// Replica deregisters (promotion); the cached set still routes there
+	// within TTL, then expires.
+	r.RemoveReplica(name, "rep1")
+	if _, rep, _ := c.ResolveRead(p, 30, "k", ""); !rep {
+		t.Fatal("cached replica set should be served within TTL")
+	}
+	now = now.Add(2 * time.Minute)
+	if s, rep, _ := c.ResolveRead(p, 30, "k", ""); rep || s != "owner" {
+		t.Fatalf("expired replica set should re-resolve: %q replica=%v", s, rep)
+	}
+	// Invalidate drops both the owner and replica cache entries.
+	r.AddReplica(name, ReplicaInfo{Site: "rep2", MaxLagSec: 10})
+	if _, rep, _ := c.ResolveRead(p, 30, "k", ""); rep {
+		t.Fatal("replica set cached again before invalidate")
+	}
+	c.Invalidate(p)
+	if _, rep, _ := c.ResolveRead(p, 30, "k", ""); !rep {
+		t.Fatal("invalidate should drop the cached replica set")
+	}
+}
+
+// TestRegistryConcurrentAccess hammers register/repoint/lookup and replica
+// add/remove from many goroutines; run under -race this is the failover
+// primitive's safety net.
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	const names = 8
+	name := func(i int) string { return fmt.Sprintf("n%d.svc", i%names) }
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Set(name(i), fmt.Sprintf("site-%d-%d", g, i%3))
+				r.AddReplica(name(i), ReplicaInfo{Site: fmt.Sprintf("rep-%d", i%5), MaxLagSec: 5})
+				if i%7 == 0 {
+					r.RemoveReplica(name(i), fmt.Sprintf("rep-%d", i%5))
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Lookup(name(i))
+				for _, e := range r.LookupReplicas(name(i)) {
+					_ = e.Site // returned slices must be safe to iterate
+				}
+				r.Len()
+				r.Stats()
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+// TestRepointDuringResolve repoints a name while clients resolve through
+// it — the replica-promotion move. Every resolve must land on one of the
+// two legal owners, never fail, never see a torn value.
+func TestRepointDuringResolve(t *testing.T) {
+	r := NewRegistry()
+	p := path(t, pgh)
+	name := DNSName(p, "svc")
+	r.Set(name, "old-owner")
+	r.AddReplica(name, ReplicaInfo{Site: "new-owner", MaxLagSec: 5})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var bad atomic64String
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := NewClient(r, "svc", 0, nil)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				site, err := c.Resolve(p)
+				if err != nil || (site != "old-owner" && site != "new-owner") {
+					bad.set(fmt.Sprintf("Resolve = %q, %v", site, err))
+					return
+				}
+				rsite, _, err := c.ResolveRead(p, 30, "k", "")
+				if err != nil || (rsite != "old-owner" && rsite != "new-owner") {
+					bad.set(fmt.Sprintf("ResolveRead = %q, %v", rsite, err))
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		// The promotion sequence: repoint the owner entry, then drop the
+		// promoted site from the replica set.
+		r.Set(name, "new-owner")
+		r.RemoveReplica(name, "new-owner")
+		r.Set(name, "old-owner")
+		r.AddReplica(name, ReplicaInfo{Site: "new-owner", MaxLagSec: 5})
+	}
+	close(stop)
+	wg.Wait()
+	if msg := bad.get(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+type atomic64String struct {
+	mu  sync.Mutex
+	msg string
+}
+
+func (a *atomic64String) set(s string) {
+	a.mu.Lock()
+	if a.msg == "" {
+		a.msg = s
+	}
+	a.mu.Unlock()
+}
+
+func (a *atomic64String) get() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.msg
+}
+
+// BenchmarkResolve measures the longest-prefix walk on a deep path whose
+// entry sits at the top of the hierarchy — the worst case for the walk,
+// and the hot path for every subquery dispatch.
+func BenchmarkResolve(b *testing.B) {
+	r := NewRegistry()
+	r.Set("ne.svc", "central")
+	c := NewClient(r, "svc", 0, nil)
+	p, err := xmldbParse(pgh + "/neighborhood[@id='Oakland']/block[@id='1']/parkingSpace[@id='7']")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Resolve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkResolveRead measures replica selection on the same worst-case
+// path with a three-replica set registered at the matched prefix.
+func BenchmarkResolveRead(b *testing.B) {
+	r := NewRegistry()
+	r.Set("ne.svc", "central")
+	for i := 0; i < 3; i++ {
+		r.AddReplica("ne.svc", ReplicaInfo{Site: fmt.Sprintf("rep-%d", i), MaxLagSec: 10})
+	}
+	c := NewClient(r, "svc", 0, nil)
+	p, err := xmldbParse(pgh + "/neighborhood[@id='Oakland']/block[@id='1']/parkingSpace[@id='7']")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.ResolveRead(p, 30, "bench-key", ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -99,8 +99,14 @@ func (f *Frontend) withDeadline(ctx context.Context) (context.Context, context.C
 	return ctx, func() {}
 }
 
-// RouteOf returns the site a query would be sent to, without sending it:
-// the owner of the query's LCA node. Exposed for tests and the harness.
+// RouteOf returns the site a query would be sent to, without sending it.
+// Strict queries — any freshness conjunct outside the time-invariant
+// compiled subset, tolerance 0 — go to the owner of the query's LCA node.
+// Freshness-tolerant queries may route to a registered read replica whose
+// lag bound fits inside the query's tolerance; rendezvous hashing on the
+// query text pins repeats of the same query to the same replica, which
+// (with in-order replication apply) keeps each query stream's answers
+// monotone. Exposed for tests and the harness.
 func (f *Frontend) RouteOf(query string) (string, xmldb.IDPath, error) {
 	if f.ForceEntry != "" {
 		return f.ForceEntry, nil, nil
@@ -109,7 +115,11 @@ func (f *Frontend) RouteOf(query string) (string, xmldb.IDPath, error) {
 	if err != nil {
 		return "", nil, err
 	}
-	entry, err := f.DNS.Resolve(lca)
+	tol := 0.0
+	if e, perr := xpath.Parse(query); perr == nil {
+		tol = xpath.FreshnessTolerance(e)
+	}
+	entry, _, err := f.DNS.ResolveRead(lca, tol, query, "")
 	if err != nil {
 		return "", nil, err
 	}

@@ -1,0 +1,225 @@
+package site
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"irisnet/internal/naming"
+	"irisnet/internal/transport"
+	"irisnet/internal/workload"
+	"irisnet/internal/xmldb"
+)
+
+// spaceUnder returns a parking-space path below the given neighborhood.
+func spaceUnder(t *testing.T, d *testDeployment, nb xmldb.IDPath) xmldb.IDPath {
+	t.Helper()
+	prefix := nb.Key() + "/"
+	for _, p := range d.db.SpacePaths {
+		if strings.HasPrefix(p.Key(), prefix) {
+			return p
+		}
+	}
+	t.Fatalf("no space under %s", nb)
+	return nil
+}
+
+// addReplicaSite wires an empty site (no owned data) into a test
+// deployment, the way the bench harness adds read replicas.
+func addReplicaSite(t *testing.T, d *testDeployment, name string, mut func(*Config)) *Site {
+	t.Helper()
+	sc := Config{
+		Name:     name,
+		Service:  workload.Service,
+		Net:      d.net,
+		DNS:      naming.NewClient(d.registry, workload.Service, time.Hour, nil),
+		Registry: d.registry,
+		Schema:   d.db.Schema,
+		CPUSlots: 1,
+		Clock:    d.clock,
+	}
+	if mut != nil {
+		mut(&sc)
+	}
+	s := New(sc, workload.RootName, workload.RootID)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d.sites[name] = s
+	return s
+}
+
+// sendUpdate applies a sensor update through the wire path.
+func sendUpdate(t *testing.T, d *testDeployment, to string, p xmldb.IDPath, value string) {
+	t.Helper()
+	msg := &Message{Kind: KindUpdate, Path: p.String(), Fields: map[string]string{"available": value}}
+	respB, err := d.net.Call(to, msg.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := DecodeMessage(respB)
+	if e := resp.AsError(); e != nil {
+		t.Fatalf("update: %v", e)
+	}
+}
+
+// awaitValue polls the site until a query for p returns the value, failing
+// after two seconds — how a test waits out the asynchronous delta stream.
+func awaitValue(t *testing.T, d *testDeployment, siteName string, p xmldb.IDPath, value string) {
+	t.Helper()
+	q := p.String()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		frag := d.query(t, siteName, q)
+		got := extracted(t, frag, q, d.clock)
+		if len(got) == 1 && strings.Contains(got[0], value) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("site %s never saw %q at %s; last answer %v", siteName, value, p, got)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestReplicationStreamAndServe(t *testing.T) {
+	d := deployCfg(t, false, transport.SimConfig{}, func(c *Config) {
+		c.ReplicaFlushInterval = 2 * time.Millisecond
+	})
+	rep := addReplicaSite(t, d, "replica-1", func(c *Config) {
+		c.ReplicaFlushInterval = 2 * time.Millisecond
+	})
+
+	nbPath := d.db.NeighborhoodPath(0, 0)
+	ownerName := d.assign.OwnerOf(nbPath)
+	owner := d.sites[ownerName]
+	if err := owner.AddReadReplica(nbPath, "replica-1", 30); err != nil {
+		t.Fatal(err)
+	}
+
+	// The replica is registered next to the owner's DNS entry — and under
+	// every transferred name, so resolvers that match a deeper name (a
+	// block's own entry) still see the replica set.
+	reps := d.registry.LookupReplicas(naming.DNSName(nbPath, workload.Service))
+	if len(reps) != 1 || reps[0].Site != "replica-1" || reps[0].MaxLagSec != 30 {
+		t.Fatalf("registered replicas = %+v", reps)
+	}
+	if reps := d.registry.LookupReplicas(naming.DNSName(d.db.BlockPath(0, 0, 1), workload.Service)); len(reps) != 1 {
+		t.Fatalf("block-level replica registration missing: %+v", reps)
+	}
+
+	// The seed alone answers queries over the replicated subtree with the
+	// same bytes the authoritative evaluation produces, without asking the
+	// owner: the replica holds status-complete copies.
+	q := d.db.BlockQuery(0, 0, 1)
+	want := centralAnswer(t, d, q)
+	got := extracted(t, d.query(t, "replica-1", q), q, d.clock)
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Fatalf("replica answer = %v, want %v", got, want)
+	}
+	if asked := rep.Metrics.Subqueries.Value(); asked != 0 {
+		t.Fatalf("replica issued %d subqueries for replicated data", asked)
+	}
+
+	// A committed owner update streams to the replica within a few flush
+	// intervals.
+	target := spaceUnder(t, d, nbPath)
+	sendUpdate(t, d, ownerName, target, "replicated-value")
+	awaitValue(t, d, "replica-1", target, "replicated-value")
+
+	if n := rep.Metrics.ReplicaBatchesApplied.Value(); n == 0 {
+		t.Fatal("no replication batches applied")
+	}
+	if n := owner.Metrics.ReplicaBatchesSent.Value(); n == 0 {
+		t.Fatal("no replication batches sent")
+	}
+	if w, ok := rep.ReplicaWatermark(nbPath); !ok || w <= 0 {
+		t.Fatalf("replica watermark = %v, %v", w, ok)
+	}
+
+	// Roles and lag surface in the debug views.
+	if role := rep.Debug().Role; role != "replica" {
+		t.Fatalf("replica role = %q", role)
+	}
+	od := owner.Debug()
+	if od.Role != "owner" || len(od.ReplicatesTo) != 1 {
+		t.Fatalf("owner debug = role %q, replicatesTo %v", od.Role, od.ReplicatesTo)
+	}
+	if _, ok := rep.Debug().ReplicaOf[nbPath.Key()]; !ok {
+		t.Fatalf("replica debug missing subscription: %v", rep.Debug().ReplicaOf)
+	}
+
+	// Removing the replica deregisters it and stops the stream.
+	owner.RemoveReadReplica(nbPath, "replica-1")
+	if reps := d.registry.LookupReplicas(naming.DNSName(nbPath, workload.Service)); len(reps) != 0 {
+		t.Fatalf("replica still registered after removal: %+v", reps)
+	}
+	if reps := d.registry.LookupReplicas(naming.DNSName(d.db.BlockPath(0, 0, 1), workload.Service)); len(reps) != 0 {
+		t.Fatalf("block-level registration survived removal: %+v", reps)
+	}
+	if to := owner.Debug().ReplicatesTo; len(to) != 0 {
+		t.Fatalf("stream still live after removal: %v", to)
+	}
+}
+
+func TestReplicaPromotion(t *testing.T) {
+	d := deployCfg(t, false, transport.SimConfig{}, func(c *Config) {
+		c.ReplicaFlushInterval = 2 * time.Millisecond
+	})
+	rep := addReplicaSite(t, d, "replica-1", func(c *Config) {
+		c.ReplicaFlushInterval = 2 * time.Millisecond
+	})
+	nbPath := d.db.NeighborhoodPath(0, 0)
+	ownerName := d.assign.OwnerOf(nbPath)
+	if err := d.sites[ownerName].AddReadReplica(nbPath, "replica-1", 30); err != nil {
+		t.Fatal(err)
+	}
+	target := spaceUnder(t, d, nbPath)
+	sendUpdate(t, d, ownerName, target, "pre-failover")
+	awaitValue(t, d, "replica-1", target, "pre-failover")
+
+	// The owner dies; the surviving replica promotes itself.
+	d.net.Partition(ownerName)
+	if err := rep.Promote(nbPath); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Owns(nbPath) || !rep.Owns(target) {
+		t.Fatal("promoted replica does not own the transferred nodes")
+	}
+	if role := rep.Debug().Role; role != "owner" {
+		t.Fatalf("promoted role = %q", role)
+	}
+	// The registry repointed every transferred name, and the replica set no
+	// longer lists the promoted site.
+	fresh := naming.NewClient(d.registry, workload.Service, 0, nil)
+	if owner, _ := fresh.ResolveExact(target); owner != "replica-1" {
+		t.Fatalf("registry owner of %s = %q after promotion", target, owner)
+	}
+	if reps := d.registry.LookupReplicas(naming.DNSName(nbPath, workload.Service)); len(reps) != 0 {
+		t.Fatalf("promoted site still registered as replica: %+v", reps)
+	}
+	// Updates and queries continue against the new owner: no data lost, no
+	// answer behind what the replica already served.
+	sendUpdate(t, d, "replica-1", target, "post-failover")
+	awaitValue(t, d, "replica-1", target, "post-failover")
+	if n := rep.Metrics.Updates.Value(); n != 1 {
+		t.Fatalf("promoted site applied %d updates, want 1", n)
+	}
+	// A second promotion attempt fails: the subscription is gone.
+	if err := rep.Promote(nbPath); err == nil {
+		t.Fatal("double promotion should fail")
+	}
+}
+
+func TestReplicateRejectsUnknownSubscription(t *testing.T) {
+	d := deploy(t, false)
+	msg := &Message{Kind: KindReplicate, Path: d.db.NeighborhoodPath(0, 0).String(), Seq: 1, ClockSec: 1}
+	respB, err := d.net.Call("root-site", msg.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := DecodeMessage(respB)
+	if resp.AsError() == nil {
+		t.Fatal("replicate without a subscription should fail")
+	}
+}

@@ -110,6 +110,11 @@ type Config struct {
 	// provenance metrics). The ledger is on by default; this exists as the
 	// baseline arm of irisbench -exp obs-overhead and as an escape hatch.
 	DisableFreshnessLedger bool
+	// ReplicaFlushInterval is the owner-side replication flush cadence:
+	// committed deltas batch for at most this long before shipping to read
+	// replicas, and idle streams heartbeat their watermark at this period
+	// (replication.go). Zero uses DefaultReplicaFlushInterval.
+	ReplicaFlushInterval time.Duration
 	// SlowQueryThreshold, when positive, logs a structured warning (with
 	// trace ID) for every query whose total handling time reaches it.
 	SlowQueryThreshold time.Duration
@@ -164,6 +169,14 @@ type Metrics struct {
 	// kept off the wire: per hop, the serialized fragment the raw path
 	// would have shipped upstream minus the compact partial actually sent.
 	GatherBytesSaved metrics.Counter
+	// ReplicaBatchesSent counts replication delta batches and watermark
+	// heartbeats this owner shipped to its read replicas.
+	ReplicaBatchesSent metrics.Counter
+	// ReplicaBatchesApplied counts replication batches this site applied
+	// as a replica.
+	ReplicaBatchesApplied metrics.Counter
+	// ReplicaSyncs counts replica seeds this site installed.
+	ReplicaSyncs metrics.Counter
 	// SummaryHits counts aggregate queries answered from the summary cache.
 	SummaryHits metrics.Counter
 	// BatchSize is the per-batch-message entry-count distribution.
@@ -210,6 +223,14 @@ func (s *Site) Register(r *metrics.Registry) {
 	r.RegisterCounter("irisnet_aggregate_fallbacks_total", "Aggregate queries answered via raw gather plus local aggregation.", l, &m.AggregateFallbacks)
 	r.RegisterCounter("irisnet_gather_bytes_saved_total", "Fragment bytes kept off the wire by partial aggregation.", l, &m.GatherBytesSaved)
 	r.RegisterCounter("irisnet_aggregate_summary_hits_total", "Aggregate queries answered from the summary cache.", l, &m.SummaryHits)
+	r.RegisterCounter("irisnet_replica_batches_sent_total", "Replication delta batches and heartbeats shipped to read replicas.", l, &m.ReplicaBatchesSent)
+	r.RegisterCounter("irisnet_replica_batches_applied_total", "Replication batches applied as a replica.", l, &m.ReplicaBatchesApplied)
+	r.RegisterCounter("irisnet_replica_syncs_total", "Replica seeds installed.", l, &m.ReplicaSyncs)
+	r.GaugeFunc("irisnet_replica_lag_seconds", "Maximum replication lag across this site's subscriptions.", l,
+		func() float64 {
+			lag, _ := s.ReplicaLag()
+			return lag
+		})
 	r.GaugeFunc("irisnet_summary_cache_bytes", "Accounted bytes of cached aggregate summaries.", l,
 		func() float64 {
 			if s.summaries == nil {
@@ -277,6 +298,12 @@ type Site struct {
 	stopPressure chan struct{}
 	stopOnce     sync.Once
 
+	// repl is the owner-side replication engine; subs the replica-side
+	// subscription table, guarded by subMu (replication.go).
+	repl  *replicator
+	subMu sync.Mutex
+	subs  map[string]*replicaSub
+
 	// wmu serializes writers; readers never take it.
 	wmu   sync.Mutex
 	state atomic.Pointer[siteState]
@@ -308,7 +335,9 @@ func New(cfg Config, rootName, rootID string) *Site {
 		flights:      newFlightGroup[subResult](),
 		aggFlights:   newFlightGroup[aggResult](),
 		stopPressure: make(chan struct{}),
+		subs:         map[string]*replicaSub{},
 	}
+	s.repl = newReplicator(s)
 	if cfg.Caching && cfg.CacheBudgetBytes > 0 {
 		s.cache = newCacheManager()
 	}
@@ -364,9 +393,12 @@ func (s *Site) Start() error {
 	return nil
 }
 
-// Stop unregisters the site and stops the pressure loop.
+// Stop unregisters the site and stops the pressure and replication loops.
 func (s *Site) Stop() {
-	s.stopOnce.Do(func() { close(s.stopPressure) })
+	s.stopOnce.Do(func() {
+		close(s.stopPressure)
+		s.repl.close()
+	})
 	s.cfg.Net.Unregister(s.cfg.Name)
 }
 
@@ -414,6 +446,15 @@ type DebugInfo struct {
 	CacheBudget     int64             `json:"cacheBudgetBytes,omitempty"`
 	Owned           []string          `json:"owned"`
 	Forwarding      map[string]string `json:"forwarding,omitempty"`
+	// Role classifies the site's replication position: "owner",
+	// "replica", or "owner+replica"; empty when it holds nothing.
+	Role string `json:"role,omitempty"`
+	// ReplicaOf maps each subscribed replication root to this site's
+	// current lag behind its owner, in seconds.
+	ReplicaOf map[string]float64 `json:"replicaOf,omitempty"`
+	// ReplicatesTo maps each replicated root to the replica sites this
+	// owner streams it to.
+	ReplicatesTo map[string][]string `json:"replicatesTo,omitempty"`
 }
 
 // Stats is a point-in-time snapshot of a site's counters, serialized into
@@ -434,13 +475,21 @@ type Stats struct {
 	AnswerOwnedBytes   int64   `json:"answerOwnedBytes"`
 	AnswerFetchedBytes int64   `json:"answerFetchedBytes"`
 	MaxStalenessSec    float64 `json:"maxStalenessSec"`
+	// ReplicaLagSec is the current maximum replication lag across the
+	// site's subscriptions (0 when it replicates nothing); ReplicaBatches
+	// the batches it has applied as a replica.
+	ReplicaLagSec  float64 `json:"replicaLagSec"`
+	ReplicaBatches int64   `json:"replicaBatches"`
 }
 
 // Stats snapshots the site's counters; reads are atomic per counter, not
 // mutually consistent, which is fine for an observability view.
 func (s *Site) Stats() Stats {
 	m := &s.Metrics
+	lag, _ := s.ReplicaLag()
 	return Stats{
+		ReplicaLagSec:      lag,
+		ReplicaBatches:     m.ReplicaBatchesApplied.Value(),
 		Queries:            m.Queries.Value(),
 		Subqueries:         m.Subqueries.Value(),
 		Updates:            m.Updates.Value(),
@@ -480,6 +529,7 @@ func (s *Site) Debug() DebugInfo {
 			d.Forwarding[k] = v
 		}
 	}
+	d.Role, d.ReplicaOf, d.ReplicatesTo = s.replicaDebug()
 	return d
 }
 
@@ -519,6 +569,10 @@ func (s *Site) Handle(ctx context.Context, payload []byte) ([]byte, error) {
 		resp = s.handleTake(msg)
 	case KindSchema:
 		resp = s.handleSchema(msg)
+	case KindSync:
+		resp = s.handleSync(msg)
+	case KindReplicate:
+		resp = s.handleReplicate(msg)
 	default:
 		resp = errorMessage(fmt.Errorf("site %s: unknown message kind %q", s.cfg.Name, msg.Kind))
 	}
@@ -790,6 +844,11 @@ func (s *Site) handleQuery(ctx context.Context, msg *Message, reqBytes int, pinn
 	var freshness *trace.FreshnessReport
 	if prov != nil {
 		freshness = freshnessReport(prov, fetchedBytes)
+		if lag, ok := s.replicaLagForQuery(msg.Query); ok {
+			// The answer came (at least partly) from replicated data: record
+			// how far behind the owner this site was when it served.
+			freshness.ReplicaLagSec = lag
+		}
 		s.Metrics.AnswerStaleness.Observe(prov.AgeMax)
 		s.Metrics.CacheAge.Observe(prov.MeanAge())
 		if m, ok := prov.MinMargin(); ok {
@@ -1064,6 +1123,9 @@ func (s *Site) applyUpdateLocked(st *siteState, p xmldb.IDPath, fields, attrs ma
 		return fmt.Errorf("site %s: owned node %s missing from store", s.cfg.Name, p)
 	}
 	s.publishLocked(&siteState{store: w.Commit(), owned: st.owned, migrated: st.migrated})
+	// Queue the committed path on every replication stream covering it;
+	// the flusher re-reads the node's post-commit state at ship time.
+	s.repl.observeLocked(p)
 	if s.summaries != nil {
 		// Cached aggregate summaries over the updated subtree are stale the
 		// moment the new version publishes; drop them in the commit path.

@@ -18,8 +18,8 @@ COUNT="${COUNT:-6}"
 BENCHTIME="${BENCHTIME:-100ms}"
 THRESHOLD="${THRESHOLD:-15}"
 OUT="${OUT:-bench_gate}"
-PATTERN='BenchmarkSnapshotQuery|BenchmarkSerialize|BenchmarkAggregateCompute'
-PKGS=(./internal/site ./internal/xmldb ./internal/qeg)
+PATTERN='BenchmarkSnapshotQuery|BenchmarkSerialize|BenchmarkAggregateCompute|BenchmarkReplicaApplyDelta'
+PKGS=(./internal/site ./internal/xmldb ./internal/qeg ./internal/fragment)
 
 mkdir -p "$OUT"
 

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Smoke-tests owner-push replication with read scale-out: runs the
+# replication experiment in -short mode (sub-second arms) and fails unless
+# the machine report says all three acceptance checks held — >=2.5x
+# aggregate QPS with 3 replicas vs the single owner under the Zipf
+# hot-spot, strict/tolerant byte-identity against an owner-only
+# deployment, and a clean mid-load failover (zero lost acked updates,
+# zero backwards-in-time answers).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+LOG=$(mktemp)
+cleanup() {
+    rm -f "$LOG"
+}
+trap cleanup EXIT
+
+if ! go run ./cmd/irisbench -exp replication -short >"$LOG" 2>&1; then
+    echo "replication-smoke: replication experiment failed" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+cat "$LOG"
+
+if ! grep -q '"pass": true' BENCH_PR9.json; then
+    echo "replication-smoke: replication acceptance failed" >&2
+    cat BENCH_PR9.json >&2
+    exit 1
+fi
+
+echo "replication-smoke: ok (>=2.5x QPS scale-out, byte-identity, and clean failover held)"
