@@ -26,10 +26,11 @@ import (
 //     reordering are harmless (stale-timestamp guard) and replica data is
 //     status-complete — the QEG freshness predicates treat it exactly
 //     like any cached copy;
-//   - the seed is the Delegate transfer fragment in all but the final
-//     status: the owner ships its owned local information under the root
-//     plus ancestor ID spines, and the replica merges it as complete
-//     (cached) rather than owned;
+//   - the seed is fragment.BuildSync over the subtree: the owner mirrors
+//     everything it knows at or below the root — local information merged
+//     as complete (cached, never owned) plus local ID information for
+//     delegated children, so the replica's picture of which children
+//     exist is as honest as the owner's;
 //   - promotion after an owner failure is handleTake driven locally: flip
 //     the transferred statuses to owned, extend the ownership table,
 //     repoint the registry.
@@ -41,6 +42,15 @@ import (
 // W provably covers every commit stamped before W — so a replica whose
 // last applied batch carried W can answer any freshness predicate that
 // tolerates (now - W) seconds of staleness without consulting the owner.
+//
+// Retries: every transmission attempt carries a fresh sequence number,
+// and the replica merges any non-empty fragment it receives regardless
+// of sequence (merges are idempotent; seq and watermark only advance
+// monotonically). This matters when a batch is applied but its ack is
+// lost: the retry re-reads a newer snapshot and so carries different
+// content — commits made since the first attempt — and must not be
+// mistaken for a duplicate of the batch the replica already holds, or
+// those commits would slip under the advancing watermark unreplicated.
 //
 // Routing: replicas are registered in the naming registry next to the
 // owner entry (naming.ReplicaStore) with their configured lag bound;
@@ -58,16 +68,21 @@ import (
 const DefaultReplicaFlushInterval = 10 * time.Millisecond
 
 // replStream is the owner-side state of one root→replica delta stream.
-// The pending set and syncing flag are guarded by the site's wmu (they
-// are touched inside the commit path); seq only by the flusher goroutine.
+// The pending set and the syncing/inflight flags are guarded by the
+// site's wmu (they are touched inside the commit path); seq only by the
+// single in-flight sender — flush marks a stream inflight before handing
+// it to a send goroutine, so sends on one stream never overlap or
+// reorder; regNames is written under wmu when the replica is registered.
 type replStream struct {
-	root    xmldb.IDPath
-	rootKey string
-	dest    string
-	maxLag  float64
-	syncing bool                    // seed not yet acknowledged; flusher skips
-	pending map[string]xmldb.IDPath // paths committed since the last flush
-	seq     uint64
+	root     xmldb.IDPath
+	rootKey  string
+	dest     string
+	maxLag   float64
+	syncing  bool                    // seed not yet acknowledged; flusher skips
+	inflight bool                    // a send goroutine owns this stream; flusher skips
+	pending  map[string]xmldb.IDPath // paths committed since the last flush
+	seq      uint64                  // sequence number of the last transmission attempt
+	regNames []string                // registry names this replica was registered under
 }
 
 // replicator is the owner-side replication engine: the stream table and
@@ -130,9 +145,9 @@ func (r *replicator) addStreamLocked(root xmldb.IDPath, dest string, maxLag floa
 	return st, nil
 }
 
-// removeStream drops a stream. Takes wmu first to respect the lock order
-// with the commit path.
-func (r *replicator) removeStream(root xmldb.IDPath, dest string) {
+// removeStream drops a stream and returns it (nil when absent). Takes wmu
+// first to respect the lock order with the commit path.
+func (r *replicator) removeStream(root xmldb.IDPath, dest string) *replStream {
 	r.s.wmu.Lock()
 	defer r.s.wmu.Unlock()
 	r.mu.Lock()
@@ -141,9 +156,10 @@ func (r *replicator) removeStream(root xmldb.IDPath, dest string) {
 	for i, st := range r.streams {
 		if st.rootKey == key && st.dest == dest {
 			r.streams = append(r.streams[:i], r.streams[i+1:]...)
-			return
+			return st
 		}
 	}
+	return nil
 }
 
 // start launches the flusher once the first stream goes live.
@@ -187,9 +203,12 @@ func (r *replicator) run() {
 
 // flush captures one consistent (pending, snapshot, watermark) triple per
 // live stream under wmu, then builds and ships the delta batches outside
-// the lock. A failed send re-queues its paths for the next tick; the
-// re-encoded delta then reads a newer snapshot, which is safe because
-// replica merges are monotone.
+// the lock — one goroutine per stream, so a dead or slow replica delays
+// only its own stream's batches and heartbeats, never the other streams'
+// watermarks. A stream with a send still in flight is skipped (its
+// pending set keeps accumulating); a failed send re-queues its paths for
+// the next tick. The re-encoded retry then reads a newer snapshot, which
+// is safe because replica merges are monotone.
 func (r *replicator) flush() {
 	r.mu.Lock()
 	streams := append([]*replStream(nil), r.streams...)
@@ -207,7 +226,7 @@ func (r *replicator) flush() {
 	clock := s.cfg.Clock()
 	var out []batch
 	for _, st := range streams {
-		if st.syncing {
+		if st.syncing || st.inflight {
 			continue
 		}
 		var paths []xmldb.IDPath
@@ -218,25 +237,35 @@ func (r *replicator) flush() {
 			}
 			st.pending = map[string]xmldb.IDPath{}
 		}
+		st.inflight = true
 		out = append(out, batch{st, paths})
 	}
 	s.wmu.Unlock()
 	for _, b := range out {
-		if err := r.send(b.st, snap, clock, b.paths); err != nil {
+		go func(b batch) {
+			err := r.send(b.st, snap, clock, b.paths)
 			s.wmu.Lock()
-			for _, p := range b.paths {
-				b.st.pending[p.Key()] = p
+			b.st.inflight = false
+			if err != nil {
+				for _, p := range b.paths {
+					b.st.pending[p.Key()] = p
+				}
 			}
 			s.wmu.Unlock()
-			s.log.LogAttrs(context.Background(), slog.LevelWarn, "replication batch failed",
-				slog.String("root", b.st.rootKey), slog.String("to", b.st.dest),
-				slog.Int("paths", len(b.paths)), slog.String("err", err.Error()))
-		}
+			if err != nil {
+				s.log.LogAttrs(context.Background(), slog.LevelWarn, "replication batch failed",
+					slog.String("root", b.st.rootKey), slog.String("to", b.st.dest),
+					slog.Int("paths", len(b.paths)), slog.String("err", err.Error()))
+			}
+		}(b)
 	}
 }
 
 // send encodes one batch (or a bare watermark heartbeat when paths is
-// empty) and ships it to the stream's replica.
+// empty) and ships it to the stream's replica. Every transmission attempt
+// gets a fresh sequence number — a retry after a lost ack reads a newer
+// snapshot and so may carry content the first attempt did not, so it must
+// never look like a duplicate of a batch the replica already applied.
 func (r *replicator) send(st *replStream, snap *fragment.Store, clock float64, paths []xmldb.IDPath) error {
 	s := r.s
 	var wire string
@@ -248,8 +277,9 @@ func (r *replicator) send(st *replStream, snap *fragment.Store, clock float64, p
 		}
 		s.cpu.Do(func() { wire = delta.Root.StringSized(delta.Size()) })
 	}
+	st.seq++
 	msg := &Message{Kind: KindReplicate, Path: st.root.String(), Fragment: wire,
-		Seq: st.seq + 1, ClockSec: clock}
+		Seq: st.seq, ClockSec: clock}
 	respB, err := s.call.Call(context.Background(), st.dest, msg.Encode())
 	if err != nil {
 		return err
@@ -261,7 +291,6 @@ func (r *replicator) send(st *replStream, snap *fragment.Store, clock float64, p
 	if e := resp.AsError(); e != nil {
 		return e
 	}
-	st.seq++
 	s.Metrics.ReplicaBatchesSent.Inc()
 	return nil
 }
@@ -291,7 +320,7 @@ func (s *Site) AddReadReplica(root xmldb.IDPath, dest string, maxLagSec float64)
 		return err
 	}
 
-	seed, err := fragment.BuildDelta(snap, transfer)
+	seed, err := fragment.BuildSync(snap, root)
 	if err != nil {
 		s.repl.removeStream(root, dest)
 		return err
@@ -316,20 +345,26 @@ func (s *Site) AddReadReplica(root xmldb.IDPath, dest string, maxLagSec float64)
 		return fmt.Errorf("site %s: seeding replica %s for %s: %w", s.cfg.Name, dest, root, err)
 	}
 
-	s.wmu.Lock()
-	stream.syncing = false
-	s.wmu.Unlock()
 	if rs, ok := s.cfg.Registry.(naming.ReplicaStore); ok {
 		// Register the replica under every transferred name, mirroring the
 		// owner's per-name registration: resolvers match the deepest name
 		// (e.g. a block's own entry), so the replica set must live at each
 		// name the stream actually covers. Fragments delegated to other
 		// sites are not in the transfer set and keep owner-only routing.
+		// The stream remembers the exact registered names so removal
+		// deregisters precisely this set even if ownership under root has
+		// changed by then.
 		rep := naming.ReplicaInfo{Site: dest, MaxLagSec: maxLagSec}
-		for _, p := range transfer {
-			rs.AddReplica(naming.DNSName(p, s.cfg.Service), rep)
+		names := make([]string, len(transfer))
+		for i, p := range transfer {
+			names[i] = naming.DNSName(p, s.cfg.Service)
+			rs.AddReplica(names[i], rep)
 		}
+		stream.regNames = names
 	}
+	s.wmu.Lock()
+	stream.syncing = false
+	s.wmu.Unlock()
 	s.repl.start()
 	s.log.LogAttrs(context.Background(), slog.LevelInfo, "read replica added",
 		slog.String("root", root.String()), slog.String("to", dest),
@@ -338,12 +373,17 @@ func (s *Site) AddReadReplica(root xmldb.IDPath, dest string, maxLagSec float64)
 }
 
 // RemoveReadReplica stops the delta stream to dest and deregisters the
-// replica from the naming registry.
+// replica from the naming registry — exactly the names AddReadReplica
+// registered, not the current owned set under root, which may have
+// shrunk or grown through delegation since the stream started.
 func (s *Site) RemoveReadReplica(root xmldb.IDPath, dest string) {
-	s.repl.removeStream(root, dest)
+	st := s.repl.removeStream(root, dest)
+	if st == nil {
+		return
+	}
 	if rs, ok := s.cfg.Registry.(naming.ReplicaStore); ok {
-		for _, p := range ownedUnder(s.state.Load().owned, root) {
-			rs.RemoveReplica(naming.DNSName(p, s.cfg.Service), dest)
+		for _, name := range st.regNames {
+			rs.RemoveReplica(name, dest)
 		}
 	}
 }
@@ -394,9 +434,11 @@ func (s *Site) handleSync(msg *Message) *Message {
 }
 
 // handleReplicate applies one delta batch (or watermark heartbeat) from
-// the owner's stream. Duplicates — the sender retries unacknowledged
-// batches — are dropped by sequence number; the merge itself is also
-// idempotent, so the check only saves work.
+// the owner's stream. Any non-empty fragment is merged regardless of its
+// sequence number — merges are idempotent and monotone, and a retried
+// batch may carry commits its first (applied-but-unacked) transmission
+// did not, so a seq-based duplicate drop would lose them. Seq and
+// watermark only ever advance.
 func (s *Site) handleReplicate(msg *Message) *Message {
 	root, err := xmldb.ParseIDPath(msg.Path)
 	if err != nil {
@@ -409,18 +451,27 @@ func (s *Site) handleReplicate(msg *Message) *Message {
 	if sub == nil {
 		return errorMessage(fmt.Errorf("site %s: not a replica of %s", s.cfg.Name, root))
 	}
-	if msg.Seq <= sub.seq {
-		return &Message{Kind: KindOK}
-	}
 	if msg.Fragment != "" {
 		frag, perr := xmldb.ParseString(msg.Fragment)
 		if perr != nil {
 			return errorMessage(perr)
 		}
 		var mergeErr error
+		promoted := false
 		s.cpu.Do(func() {
 			s.wmu.Lock()
 			defer s.wmu.Unlock()
+			// Re-verify the subscription under wmu: Promote deletes it
+			// before flipping statuses in its own wmu section, so a batch
+			// that lost the race must not merge old-owner data into the
+			// just-promoted owner's store.
+			s.subMu.Lock()
+			live := s.subs[key] == sub
+			s.subMu.Unlock()
+			if !live {
+				promoted = true
+				return
+			}
 			st := s.state.Load()
 			w := st.store.Begin()
 			if mergeErr = w.MergeFragment(frag); mergeErr != nil {
@@ -428,12 +479,21 @@ func (s *Site) handleReplicate(msg *Message) *Message {
 			}
 			s.publishLocked(&siteState{store: w.Commit(), owned: st.owned, migrated: st.migrated})
 		})
+		if promoted {
+			return errorMessage(fmt.Errorf("site %s: no longer a replica of %s", s.cfg.Name, root))
+		}
 		if mergeErr != nil {
 			return errorMessage(fmt.Errorf("site %s: applying replication delta: %w", s.cfg.Name, mergeErr))
 		}
 	}
 	s.subMu.Lock()
-	sub.seq = msg.Seq
+	if s.subs[key] != sub {
+		s.subMu.Unlock()
+		return errorMessage(fmt.Errorf("site %s: no longer a replica of %s", s.cfg.Name, root))
+	}
+	if msg.Seq > sub.seq {
+		sub.seq = msg.Seq
+	}
 	if msg.ClockSec > sub.ownerClock {
 		sub.ownerClock = msg.ClockSec
 	}

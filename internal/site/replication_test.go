@@ -1,7 +1,10 @@
 package site
 
 import (
+	"context"
+	"errors"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -208,6 +211,139 @@ func TestReplicaPromotion(t *testing.T) {
 	// A second promotion attempt fails: the subscription is gone.
 	if err := rep.Promote(nbPath); err == nil {
 		t.Fatal("double promotion should fail")
+	}
+}
+
+// TestReplicationRetryAfterLostAck covers the applied-but-unacked batch:
+// a proxy in front of the replica delivers every message but swallows
+// delta-batch acks while "lossy" mode is on, so the owner keeps retrying
+// batches the replica has already applied. Commits made between the lost
+// ack and the successful retry ride the retried batch — which carries
+// different content than the original transmission — and must not be
+// discarded as a duplicate, or they would never replicate at all.
+func TestReplicationRetryAfterLostAck(t *testing.T) {
+	d := deployCfg(t, false, transport.SimConfig{}, func(c *Config) {
+		c.ReplicaFlushInterval = 2 * time.Millisecond
+	})
+	addReplicaSite(t, d, "replica-1", func(c *Config) {
+		c.ReplicaFlushInterval = 2 * time.Millisecond
+	})
+	nbPath := d.db.NeighborhoodPath(0, 0)
+	ownerName := d.assign.OwnerOf(nbPath)
+	owner := d.sites[ownerName]
+
+	// Every delta batch reaches the replica, but acks are swallowed until
+	// a batch carries the second update's value — so the only batch the
+	// owner ever sees acknowledged is a retry whose content differs from
+	// the transmission the replica first applied. The replica must not
+	// discard that retry as a duplicate. A drop counter pins that the
+	// lossy phase actually exercised retries.
+	var drops atomic.Int64
+	if err := d.net.Register("lossy", func(ctx context.Context, payload []byte) ([]byte, error) {
+		resp, err := d.net.CallContext(ctx, "replica-1", payload)
+		if err != nil {
+			return nil, err
+		}
+		if m, derr := DecodeMessage(payload); derr == nil &&
+			m.Kind == KindReplicate && m.Fragment != "" &&
+			!strings.Contains(m.Fragment, "rides-the-retry") {
+			drops.Add(1)
+			return nil, errors.New("ack lost")
+		}
+		return resp, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := owner.AddReadReplica(nbPath, "lossy", 30); err != nil {
+		t.Fatal(err)
+	}
+	target := spaceUnder(t, d, nbPath)
+	sendUpdate(t, d, ownerName, target, "acked-nowhere")
+	// The replica applies the batch even though the owner never learns.
+	awaitValue(t, d, "replica-1", target, "acked-nowhere")
+
+	// A second commit lands while the first batch is still unacknowledged;
+	// from here on the retried batch carries both and its ack goes through.
+	var target2 xmldb.IDPath
+	for _, p := range d.db.SpacePaths {
+		if strings.HasPrefix(p.Key(), nbPath.Key()+"/") && p.Key() != target.Key() {
+			target2 = p
+			break
+		}
+	}
+	if target2 == nil {
+		t.Fatal("need a second space under the neighborhood")
+	}
+	sendUpdate(t, d, ownerName, target2, "rides-the-retry")
+	awaitValue(t, d, "replica-1", target2, "rides-the-retry")
+	if drops.Load() == 0 {
+		t.Fatal("lossy phase dropped no acks; the retry path was not exercised")
+	}
+}
+
+// TestReplicationPartitionedReplicaDoesNotStallOthers pins the concurrent
+// flush: a black-holed replica's stream (deliberately first in flush
+// order) must not delay the healthy replica's batches, whose delivery
+// here would otherwise wait out the dead stream's full call timeout and
+// retries.
+func TestReplicationPartitionedReplicaDoesNotStallOthers(t *testing.T) {
+	mut := func(c *Config) {
+		c.ReplicaFlushInterval = 2 * time.Millisecond
+		c.CallTimeout = time.Second
+	}
+	d := deployCfg(t, false, transport.SimConfig{}, mut)
+	addReplicaSite(t, d, "replica-1", mut)
+	addReplicaSite(t, d, "replica-2", mut)
+	nbPath := d.db.NeighborhoodPath(0, 0)
+	ownerName := d.assign.OwnerOf(nbPath)
+	owner := d.sites[ownerName]
+	if err := owner.AddReadReplica(nbPath, "replica-2", 30); err != nil {
+		t.Fatal(err)
+	}
+	if err := owner.AddReadReplica(nbPath, "replica-1", 30); err != nil {
+		t.Fatal(err)
+	}
+	d.net.Partition("replica-2")
+	target := spaceUnder(t, d, nbPath)
+	sendUpdate(t, d, ownerName, target, "past-partition")
+	awaitValue(t, d, "replica-1", target, "past-partition")
+	d.net.Heal("replica-2")
+}
+
+// TestRemoveReadReplicaAfterDelegation pins deregistration to the names
+// AddReadReplica actually registered: ownership under the root changes
+// while the stream is live, and removal must still clear every replica
+// entry, not just the ones under the current owned set.
+func TestRemoveReadReplicaAfterDelegation(t *testing.T) {
+	d := deployCfg(t, false, transport.SimConfig{}, func(c *Config) {
+		c.ReplicaFlushInterval = 2 * time.Millisecond
+	})
+	addReplicaSite(t, d, "replica-1", func(c *Config) {
+		c.ReplicaFlushInterval = 2 * time.Millisecond
+	})
+	nbPath := d.db.NeighborhoodPath(0, 0)
+	ownerName := d.assign.OwnerOf(nbPath)
+	owner := d.sites[ownerName]
+	if err := owner.AddReadReplica(nbPath, "replica-1", 30); err != nil {
+		t.Fatal(err)
+	}
+	blockPath := d.db.BlockPath(0, 0, 1)
+	if reps := d.registry.LookupReplicas(naming.DNSName(blockPath, workload.Service)); len(reps) != 1 {
+		t.Fatalf("block-level replica registration missing: %+v", reps)
+	}
+	// Ownership under the replicated root changes mid-stream.
+	if err := owner.Delegate(blockPath, "root-site"); err != nil {
+		t.Fatal(err)
+	}
+	owner.RemoveReadReplica(nbPath, "replica-1")
+	for _, p := range append([]xmldb.IDPath{nbPath, blockPath}, d.db.SpacePaths...) {
+		if !strings.HasPrefix(p.Key(), nbPath.Key()) {
+			continue
+		}
+		if reps := d.registry.LookupReplicas(naming.DNSName(p, workload.Service)); len(reps) != 0 {
+			t.Fatalf("replica entry for %s survived removal: %+v", p, reps)
+		}
 	}
 }
 
