@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci build fmt vet lint test race-stress bench-smoke metrics-smoke cache-smoke localeval-smoke aggregate-smoke replication-smoke perf-gate
+.PHONY: ci build fmt vet lint test race-stress bench-smoke metrics-smoke cache-smoke localeval-smoke aggregate-smoke replication-smoke durability-smoke perf-gate
 
-ci: build fmt lint test race-stress bench-smoke metrics-smoke cache-smoke localeval-smoke aggregate-smoke replication-smoke perf-gate
+ci: build fmt lint test race-stress bench-smoke metrics-smoke cache-smoke localeval-smoke aggregate-smoke replication-smoke durability-smoke perf-gate
 
 build:
 	$(GO) build ./...
@@ -77,6 +77,14 @@ aggregate-smoke:
 # enforced.
 replication-smoke:
 	./scripts/replication_smoke.sh
+
+# Durability experiment in smoke mode (zero lost acked updates,
+# byte-identical recovery, warm cache beating a cold rejoin), then a real
+# irisnetd kill -9 on the demo topology: restart on the same -data-dir must
+# set the recovery metrics, rehydrate the cache before any query, and serve
+# a byte-equal answer.
+durability-smoke:
+	./scripts/durability_smoke.sh
 
 # Benchmarks HEAD against its merge base and fails on a >15% median ns/op
 # regression in the tier-1 benchmarks (BenchmarkSnapshotQuery,

@@ -1,0 +1,261 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"irisnet/internal/cluster"
+	"irisnet/internal/service"
+	"irisnet/internal/site"
+	"irisnet/internal/workload"
+	"irisnet/internal/xmldb"
+)
+
+// runDurability measures the durable fragment store (BENCH_PR10): a caching
+// hierarchical cluster with per-site WAL + checkpoints, where the entry site
+// both owns the hot update targets and caches every other site's blocks.
+// After a warm phase of acked updates and a steady-state cache-hit
+// measurement, the entry site is killed without warning (kill -9 semantics:
+// the WAL file descriptor is abandoned mid-stream) and restarted.
+//
+// Acceptance:
+//   - zero lost acked updates: every update acked before the kill is
+//     present after recovery;
+//   - byte-identical: the recovered store equals the pre-kill snapshot
+//     byte for byte, with the same ownership set;
+//   - bounded recovery: restart-to-serving stays under the gate;
+//   - warm restart: the post-restart cache hit rate holds >= 80% of the
+//     pre-kill steady state, and beats a control arm whose data dir is
+//     wiped before restart (cold rejoin).
+//
+// Results are printed and written to BENCH_PR10.json for machines.
+
+type durabilityArm struct {
+	Name          string  `json:"name"`
+	UpdatesAcked  int     `json:"updatesAcked"`
+	Queries       int     `json:"queries"`
+	SteadyHitPct  float64 `json:"steadyHitPct"`
+	RecoveryMs    float64 `json:"recoveryMs"`
+	Recovered     bool    `json:"recovered"`
+	ByteIdentical bool    `json:"byteIdentical"`
+	OwnedEqual    bool    `json:"ownedEqual"`
+	LostAcked     int     `json:"lostAcked"`
+	PostHitPct    float64 `json:"postHitPct"`
+}
+
+type durabilityReport struct {
+	Experiment      string        `json:"experiment"`
+	Short           bool          `json:"short"`
+	Updates         int           `json:"updates"`
+	RecoveryBoundMs float64       `json:"recoveryBoundMs"`
+	Warm            durabilityArm `json:"warm"`
+	Cold            durabilityArm `json:"cold"`
+
+	PassNoLoss    bool `json:"passNoLoss"`
+	PassIdentical bool `json:"passIdentical"`
+	PassRecovery  bool `json:"passRecovery"`
+	PassWarmHit   bool `json:"passWarmHit"`
+	PassWarmCold  bool `json:"passWarmVsCold"`
+	Pass          bool `json:"pass"`
+}
+
+const durRecoveryBoundMs = 3000
+
+func runDurability() {
+	updates := 300
+	rounds := 4
+	if *shortFlag {
+		updates = 60
+	}
+	header(fmt.Sprintf("Durable store: kill -9 recovery + warm restart (updates=%d)", updates))
+
+	rep := durabilityReport{
+		Experiment:      "durability",
+		Short:           *shortFlag,
+		Updates:         updates,
+		RecoveryBoundMs: durRecoveryBoundMs,
+	}
+
+	fmt.Printf("%-6s %8s %8s %10s %10s %7s %7s %6s %10s\n",
+		"arm", "acked", "queries", "steady-hit", "recov-ms", "ident", "owned", "lost", "post-hit")
+	rep.Warm = durabilityArmRun("warm", updates, rounds, false)
+	durabilityPrintArm(rep.Warm)
+	rep.Cold = durabilityArmRun("cold", updates, rounds, true)
+	durabilityPrintArm(rep.Cold)
+
+	rep.PassNoLoss = rep.Warm.LostAcked == 0 && rep.Warm.UpdatesAcked > 0
+	rep.PassIdentical = rep.Warm.ByteIdentical && rep.Warm.OwnedEqual && rep.Warm.Recovered
+	rep.PassRecovery = rep.Warm.RecoveryMs <= durRecoveryBoundMs
+	rep.PassWarmHit = rep.Warm.PostHitPct >= 0.8*rep.Warm.SteadyHitPct
+	rep.PassWarmCold = rep.Warm.PostHitPct > rep.Cold.PostHitPct
+	rep.Pass = rep.PassNoLoss && rep.PassIdentical && rep.PassRecovery &&
+		rep.PassWarmHit && rep.PassWarmCold
+
+	fmt.Printf("\nacceptance: zero lost acked=%v; byte-identical+owned=%v; "+
+		"recovery %.0fms <= %.0fms=%v; warm hit %.1f%% >= 80%% of steady %.1f%%=%v; "+
+		"warm %.1f%% > cold %.1f%%=%v\n",
+		rep.PassNoLoss, rep.PassIdentical,
+		rep.Warm.RecoveryMs, rep.RecoveryBoundMs, rep.PassRecovery,
+		rep.Warm.PostHitPct, rep.Warm.SteadyHitPct, rep.PassWarmHit,
+		rep.Warm.PostHitPct, rep.Cold.PostHitPct, rep.PassWarmCold)
+	fmt.Printf("overall pass=%v\n", rep.Pass)
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	fatal(err)
+	buf = append(buf, '\n')
+	fatal(os.WriteFile("BENCH_PR10.json", buf, 0o644))
+	fmt.Println("wrote BENCH_PR10.json")
+}
+
+func durabilityPrintArm(a durabilityArm) {
+	fmt.Printf("%-6s %8d %8d %9.1f%% %10.1f %7v %7v %6d %9.1f%%\n",
+		a.Name, a.UpdatesAcked, a.Queries, a.SteadyHitPct, a.RecoveryMs,
+		a.ByteIdentical, a.OwnedEqual, a.LostAcked, a.PostHitPct)
+}
+
+// durabilityArmRun builds a fresh durable cluster, loads it, kills the
+// entry/owner site and restarts it — with its data dir intact (warm) or
+// wiped first (cold control).
+func durabilityArmRun(name string, updates, rounds int, wipe bool) durabilityArm {
+	arm := durabilityArm{Name: name}
+	dataDir, err := os.MkdirTemp("", "irisbench-durability-*")
+	fatal(err)
+	defer os.RemoveAll(dataDir)
+
+	target := cluster.NBSiteName(0, 0)
+	cfg := cluster.Config{
+		DB:                 workload.DBConfig{Cities: 2, Neighborhoods: 2, Blocks: 4, Spaces: 4, Seed: 13},
+		Caching:            true,
+		CacheBudgetBytes:   256 << 10,
+		DataDir:            dataDir,
+		CheckpointInterval: 200 * time.Millisecond,
+		// Every query enters at the site that will be killed, so its cache
+		// is both the hottest and the one whose warmth the restart must
+		// preserve.
+		ForceEntry: target,
+	}
+	c, err := cluster.New(cluster.Hierarchical, cfg)
+	fatal(err)
+	defer c.Close()
+	fe := c.NewFrontend()
+
+	// Hot update targets: the spaces the entry site owns.
+	nbPrefix := c.DB.NeighborhoodPath(0, 0).Key() + "/"
+	var hot []xmldb.IDPath
+	for _, p := range c.DB.SpacePaths {
+		if strings.HasPrefix(p.Key(), nbPrefix) {
+			hot = append(hot, p)
+		}
+	}
+	// Query set: blocks the entry site does NOT own, so answering them
+	// locally means the cache did its job.
+	var queries []string
+	for city := 0; city < c.DB.Cfg.Cities; city++ {
+		for nb := 0; nb < c.DB.Cfg.Neighborhoods; nb++ {
+			if city == 0 && nb == 0 {
+				continue
+			}
+			for b := 0; b < c.DB.Cfg.Blocks; b++ {
+				queries = append(queries, c.DB.BlockQuery(city, nb, b))
+			}
+		}
+	}
+
+	// Warm phase: acked updates against the owned spaces, interleaved with
+	// cache-warming queries; every ack is recorded for the loss check.
+	acked := map[string]string{}
+	for i := 0; i < updates; i++ {
+		p := hot[i%len(hot)]
+		v := fmt.Sprintf("upd-%d", i)
+		if err := fe.Update(p, map[string]string{"available": v}, nil); err == nil {
+			acked[p.String()] = v
+		}
+		if i%10 == 0 {
+			q := queries[(i/10)%len(queries)]
+			if _, err := fe.Query(q); err == nil {
+				arm.Queries++
+			}
+		}
+	}
+	arm.UpdatesAcked = len(acked)
+
+	// Steady-state hit rate on the warmed cache.
+	entry := c.Sites[target]
+	arm.SteadyHitPct = durabilityHitRate(fe, entry, queries, rounds)
+	arm.Queries += rounds * len(queries)
+
+	// Quiesce, capture the control state, then kill without warning.
+	pre := durabilityStoreBytes(entry)
+	preOwned := durabilitySortedOwned(entry)
+	entry.Crash()
+	if wipe {
+		fatal(os.RemoveAll(filepath.Join(dataDir, target)))
+	}
+
+	t0 := time.Now()
+	restarted, err := c.RestartSite(target)
+	fatal(err)
+	arm.RecoveryMs = float64(time.Since(t0).Microseconds()) / 1000
+	arm.Recovered = restarted.RecoverySeconds() > 0
+
+	arm.ByteIdentical = durabilityStoreBytes(restarted) == pre
+	got := durabilitySortedOwned(restarted)
+	arm.OwnedEqual = strings.Join(got, "|") == strings.Join(preOwned, "|")
+	snap := restarted.StoreSnapshot()
+	for k, v := range acked {
+		p, err := xmldb.ParseIDPath(k)
+		if err != nil {
+			arm.LostAcked++
+			continue
+		}
+		n := snap.NodeAt(p)
+		present := false
+		if n != nil {
+			for _, ch := range n.ChildrenNamed("available") {
+				if ch.Text == v {
+					present = true
+				}
+			}
+		}
+		if !present {
+			arm.LostAcked++
+		}
+	}
+
+	// Post-restart hit rate over the same query set.
+	arm.PostHitPct = durabilityHitRate(fe, restarted, queries, rounds)
+	arm.Queries += rounds * len(queries)
+	return arm
+}
+
+func durabilityHitRate(fe *service.Frontend, s *site.Site, queries []string, rounds int) float64 {
+	h0 := s.Metrics.CacheHits.Value()
+	n := 0
+	for r := 0; r < rounds; r++ {
+		for _, q := range queries {
+			if _, err := fe.Query(q); err == nil {
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return 100 * float64(s.Metrics.CacheHits.Value()-h0) / float64(n)
+}
+
+func durabilityStoreBytes(s *site.Site) string {
+	snap := s.StoreSnapshot()
+	return snap.Root.StringSized(snap.Size())
+}
+
+func durabilitySortedOwned(s *site.Site) []string {
+	keys := s.OwnedPaths()
+	sort.Strings(keys)
+	return keys
+}

@@ -29,7 +29,7 @@ import (
 )
 
 var (
-	expFlag   = flag.String("exp", "all", "experiment: updates|fig7|fig8|fig9|fig10|fig11|latency|faults|trace-overhead|read-write-mix|batching|cache-pressure|local-eval|obs-overhead|aggregates|replication|all")
+	expFlag   = flag.String("exp", "all", "experiment: updates|fig7|fig8|fig9|fig10|fig11|latency|faults|trace-overhead|read-write-mix|batching|cache-pressure|local-eval|obs-overhead|aggregates|replication|durability|all")
 	durFlag   = flag.Duration("dur", 3*time.Second, "measurement duration per cell")
 	clients   = flag.Int("clients", 24, "closed-loop query clients")
 	largeFlag = flag.Bool("large", false, "use the x8 database where applicable")
@@ -57,8 +57,9 @@ func main() {
 		"obs-overhead":   runObsOverhead,
 		"aggregates":     runAggregates,
 		"replication":    runReplication,
+		"durability":     runDurability,
 	}
-	order := []string{"updates", "fig7", "fig8", "fig9", "fig10", "fig11", "latency", "faults", "trace-overhead", "read-write-mix", "batching", "cache-pressure", "local-eval", "obs-overhead", "aggregates", "replication"}
+	order := []string{"updates", "fig7", "fig8", "fig9", "fig10", "fig11", "latency", "faults", "trace-overhead", "read-write-mix", "batching", "cache-pressure", "local-eval", "obs-overhead", "aggregates", "replication", "durability"}
 	if *expFlag == "all" {
 		for _, name := range order {
 			exps[name]()

@@ -55,6 +55,9 @@ func main() {
 		slowQuery = flag.Duration("slow-query", 0, "log a warning for queries slower than this (0 = off)")
 		staleAns  = flag.Duration("stale-answer", 0, "log a warning for answers using cached data older than this (0 = off)")
 		profEvery = flag.Duration("profile-interval", 0, "take a 1s continuous CPU-profile sample this often, served at /debug/profile/latest (0 = off; needs -admin)")
+		dataDir   = flag.String("data-dir", "", "durable store directory; the site WALs commits and checkpoints snapshots under <data-dir>/<site> and restarts warm (empty = in-memory)")
+		fsyncIvl  = flag.Duration("fsync-interval", 0, "relax WAL fsyncs to this background cadence, trading up to one interval of acked updates on power loss for throughput (0 = fsync every acked commit)")
+		ckptIvl   = flag.Duration("checkpoint-interval", 0, "how often to checkpoint the snapshot and truncate the WAL (0 = default 10s; needs -data-dir)")
 	)
 	flag.Parse()
 	if *topoPath == "" || *siteName == "" {
@@ -82,6 +85,9 @@ func main() {
 		SlowQueryThreshold:     *slowQuery,
 		StaleAnswerThreshold:   *staleAns,
 		ProfileInterval:        *profEvery,
+		DataDir:                *dataDir,
+		FsyncInterval:          *fsyncIvl,
+		CheckpointInterval:     *ckptIvl,
 	})
 	if err != nil {
 		fail(logger, err)
@@ -92,6 +98,8 @@ func main() {
 		"registry_hosted", *registry,
 		"caching", *caching,
 		"cache_budget_bytes", *cacheCap,
+		"data_dir", *dataDir,
+		"recovery_seconds", node.Site.RecoverySeconds(),
 		"owned_nodes", len(node.Site.OwnedPaths()))
 	if node.AdminAddr != "" {
 		paths := "/metrics /healthz /debug/fragment /debug/cluster /debug/pprof"

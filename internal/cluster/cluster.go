@@ -5,6 +5,7 @@ package cluster
 
 import (
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"irisnet/internal/fragment"
@@ -138,6 +139,17 @@ type Config struct {
 	// their read replicas; zero uses site.DefaultReplicaFlushInterval. See
 	// site.Config.ReplicaFlushInterval.
 	ReplicaFlushInterval time.Duration
+	// DataDir, when set, gives every site a durable store under
+	// DataDir/<site-name>: committed transactions are WAL-logged and
+	// checkpointed, and sites restart warm (see site.Config.DataDir).
+	// Empty keeps the prior in-memory behavior.
+	DataDir string
+	// FsyncInterval relaxes WAL durability to at-most-one-interval of
+	// acked-update loss; zero fsyncs on every acked commit (group commit).
+	FsyncInterval time.Duration
+	// CheckpointInterval is the per-site checkpoint cadence; zero uses
+	// site.DefaultCheckpointInterval.
+	CheckpointInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -168,6 +180,13 @@ type Cluster struct {
 	// Metrics is the process-wide metrics registry every site registers
 	// into (one label set per site), served by ServeAdmin at /metrics.
 	Metrics *metrics.Registry
+
+	// baseStores and baseOwned retain the initial partition per site, so a
+	// restart can hand Recover the same cold-start fallback the original
+	// start had (recovery only uses it when the data dir is empty or
+	// durability is off).
+	baseStores map[string]*fragment.Store
+	baseOwned  map[string][]xmldb.IDPath
 }
 
 // ServeAdmin starts the observability HTTP endpoint (/metrics, /healthz,
@@ -206,42 +225,87 @@ func New(arch Architecture, cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: partition: %w", err)
 	}
+	c.baseStores, c.baseOwned = stores, owned
 	for _, name := range assign.Sites() {
-		s := site.New(site.Config{
-			Name:              name,
-			Service:           workload.Service,
-			Net:               c.Net,
-			DNS:               c.NewResolver(),
-			Registry:          c.Registry,
-			Schema:            db.Schema,
-			Caching:           cfg.Caching,
-			CacheBudgetBytes:  cfg.CacheBudgetBytes,
-			CacheBypass:       cfg.CacheBypass,
-			NaivePlans:        cfg.NaivePlans,
-			CPUSlots:          cfg.CPUSlots,
-			CoarseLocking:     cfg.CoarseLocking,
-			QueryWork:         cfg.QueryWork,
-			PerNodeWork:       cfg.PerNodeWork,
-			UpdateWork:        cfg.UpdateWork,
-			Clock:             cfg.Clock,
-			CallTimeout:       cfg.CallTimeout,
-			Retry:             cfg.Retry,
-			DisableBatching:   cfg.DisableBatching,
-			BatchByteCap:      cfg.BatchByteCap,
-			DisableCoalescing: cfg.DisableCoalescing,
-
-			DisableFreshnessLedger: cfg.DisableFreshnessLedger,
-			ReplicaFlushInterval:   cfg.ReplicaFlushInterval,
-		}, workload.RootName, workload.RootID)
-		s.Load(stores[name], owned[name])
-		if err := s.Start(); err != nil {
+		if _, err := c.startSite(name); err != nil {
 			return nil, err
 		}
-		s.Register(c.Metrics)
-		c.Sites[name] = s
 	}
 	c.Registry.RegisterSubtree(db.Doc, workload.Service, assign.OwnerOf)
 	return c, nil
+}
+
+// siteConfig builds one site's configuration from the cluster settings.
+func (c *Cluster) siteConfig(name string) site.Config {
+	cfg := c.Cfg
+	sc := site.Config{
+		Name:              name,
+		Service:           workload.Service,
+		Net:               c.Net,
+		DNS:               c.NewResolver(),
+		Registry:          c.Registry,
+		Schema:            c.DB.Schema,
+		Caching:           cfg.Caching,
+		CacheBudgetBytes:  cfg.CacheBudgetBytes,
+		CacheBypass:       cfg.CacheBypass,
+		NaivePlans:        cfg.NaivePlans,
+		CPUSlots:          cfg.CPUSlots,
+		CoarseLocking:     cfg.CoarseLocking,
+		QueryWork:         cfg.QueryWork,
+		PerNodeWork:       cfg.PerNodeWork,
+		UpdateWork:        cfg.UpdateWork,
+		Clock:             cfg.Clock,
+		CallTimeout:       cfg.CallTimeout,
+		Retry:             cfg.Retry,
+		DisableBatching:   cfg.DisableBatching,
+		BatchByteCap:      cfg.BatchByteCap,
+		DisableCoalescing: cfg.DisableCoalescing,
+
+		DisableFreshnessLedger: cfg.DisableFreshnessLedger,
+		ReplicaFlushInterval:   cfg.ReplicaFlushInterval,
+	}
+	if cfg.DataDir != "" {
+		sc.DataDir = filepath.Join(cfg.DataDir, name)
+		sc.FsyncInterval = cfg.FsyncInterval
+		sc.CheckpointInterval = cfg.CheckpointInterval
+	}
+	return sc
+}
+
+// startSite builds, recovers (or cold-loads) and starts one site, replacing
+// any previous instance under the same name. Used both by New and by
+// RestartSite after a crash.
+func (c *Cluster) startSite(name string) (*site.Site, error) {
+	s := site.New(c.siteConfig(name), workload.RootName, workload.RootID)
+	base := c.baseStores[name]
+	if base == nil {
+		base = fragment.NewStore(workload.RootName, workload.RootID)
+	}
+	if _, err := s.Recover(base, c.baseOwned[name]); err != nil {
+		return nil, fmt.Errorf("cluster: recovering site %s: %w", name, err)
+	}
+	if err := s.Start(); err != nil {
+		return nil, err
+	}
+	// Re-registering after a restart is a no-op (the registry keeps the
+	// first series); the fresh Site's own Metrics struct is what the bench
+	// harnesses read.
+	s.Register(c.Metrics)
+	c.Sites[name] = s
+	return s, nil
+}
+
+// RestartSite rebuilds the named site after a Crash or Stop, recovering
+// whatever its data directory holds (warm restart) or falling back to the
+// original partition when the cluster runs in-memory. The new instance
+// replaces the old one in c.Sites.
+func (c *Cluster) RestartSite(name string) (*site.Site, error) {
+	old, ok := c.Sites[name]
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown site %q", name)
+	}
+	old.Stop() // idempotent; ensures the previous instance released the log
+	return c.startSite(name)
 }
 
 // AddReplicaSite starts an empty site (owning nothing) wired into the
@@ -253,7 +317,7 @@ func (c *Cluster) AddReplicaSite(name string) (*site.Site, error) {
 		return nil, fmt.Errorf("cluster: site %q already exists", name)
 	}
 	cfg := c.Cfg
-	s := site.New(site.Config{
+	sc := site.Config{
 		Name:                 name,
 		Service:              workload.Service,
 		Net:                  c.Net,
@@ -268,7 +332,16 @@ func (c *Cluster) AddReplicaSite(name string) (*site.Site, error) {
 		CallTimeout:          cfg.CallTimeout,
 		Retry:                cfg.Retry,
 		ReplicaFlushInterval: cfg.ReplicaFlushInterval,
-	}, workload.RootName, workload.RootID)
+	}
+	if cfg.DataDir != "" {
+		sc.DataDir = filepath.Join(cfg.DataDir, name)
+		sc.FsyncInterval = cfg.FsyncInterval
+		sc.CheckpointInterval = cfg.CheckpointInterval
+	}
+	s := site.New(sc, workload.RootName, workload.RootID)
+	if _, err := s.Recover(fragment.NewStore(workload.RootName, workload.RootID), nil); err != nil {
+		return nil, fmt.Errorf("cluster: recovering replica site %s: %w", name, err)
+	}
 	if err := s.Start(); err != nil {
 		return nil, err
 	}
@@ -364,26 +437,11 @@ func BalancedSkewCluster(cfg Config, hotCity, hotNB int) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.baseStores, c.baseOwned = stores, owned
 	for _, name := range assign.Sites() {
-		s := site.New(site.Config{
-			Name: name, Service: workload.Service, Net: c.Net, DNS: c.NewResolver(),
-			Registry: c.Registry, Schema: db.Schema, Caching: cfg.Caching,
-			CacheBudgetBytes: cfg.CacheBudgetBytes, CacheBypass: cfg.CacheBypass,
-			NaivePlans: cfg.NaivePlans, CPUSlots: cfg.CPUSlots,
-			CoarseLocking: cfg.CoarseLocking, Clock: cfg.Clock,
-			QueryWork: cfg.QueryWork, PerNodeWork: cfg.PerNodeWork, UpdateWork: cfg.UpdateWork,
-			CallTimeout: cfg.CallTimeout, Retry: cfg.Retry,
-			DisableBatching: cfg.DisableBatching, BatchByteCap: cfg.BatchByteCap,
-			DisableCoalescing:      cfg.DisableCoalescing,
-			DisableFreshnessLedger: cfg.DisableFreshnessLedger,
-			ReplicaFlushInterval:   cfg.ReplicaFlushInterval,
-		}, workload.RootName, workload.RootID)
-		s.Load(stores[name], owned[name])
-		if err := s.Start(); err != nil {
+		if _, err := c.startSite(name); err != nil {
 			return nil, err
 		}
-		s.Register(c.Metrics)
-		c.Sites[name] = s
 	}
 	c.Registry.RegisterSubtree(db.Doc, workload.Service, assign.OwnerOf)
 	return c, nil

@@ -285,6 +285,15 @@ type SiteOptions struct {
 	// takes a one-second sample each interval, served at
 	// /debug/profile/latest. Requires AdminAddr.
 	ProfileInterval time.Duration
+	// DataDir, when set, makes the site durable under DataDir/<site-name>
+	// (WAL plus snapshot checkpoints; warm restart after kill -9). Empty
+	// keeps the in-memory behavior.
+	DataDir string
+	// FsyncInterval relaxes WAL fsyncs to a background cadence (bounded
+	// loss); zero fsyncs every acked commit.
+	FsyncInterval time.Duration
+	// CheckpointInterval overrides site.DefaultCheckpointInterval.
+	CheckpointInterval time.Duration
 }
 
 // Node is a running deployment member.
@@ -360,7 +369,7 @@ func StartSite(t *Topology, name string, opts SiteOptions) (*Node, error) {
 	if schema == nil {
 		schema = inferSchema(doc)
 	}
-	s := site.New(site.Config{
+	sc := site.Config{
 		Name:             name,
 		Service:          t.Service,
 		Net:              net,
@@ -375,12 +384,20 @@ func StartSite(t *Topology, name string, opts SiteOptions) (*Node, error) {
 		DisableFreshnessLedger: opts.DisableFreshnessLedger,
 		SlowQueryThreshold:     opts.SlowQueryThreshold,
 		StaleAnswerThreshold:   opts.StaleAnswerThreshold,
-	}, doc.Name, doc.ID())
+	}
+	if opts.DataDir != "" {
+		sc.DataDir = filepath.Join(opts.DataDir, name)
+		sc.FsyncInterval = opts.FsyncInterval
+		sc.CheckpointInterval = opts.CheckpointInterval
+	}
+	s := site.New(sc, doc.Name, doc.ID())
 	store, okStore := stores[name]
 	if !okStore {
 		store = fragment.NewStore(doc.Name, doc.ID())
 	}
-	s.Load(store, owned[name])
+	if _, err := s.Recover(store, owned[name]); err != nil {
+		return nil, fmt.Errorf("deploy: recovering site %s: %w", name, err)
+	}
 	if err := s.Start(); err != nil {
 		return nil, err
 	}

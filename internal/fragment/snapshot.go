@@ -2,9 +2,21 @@ package fragment
 
 import (
 	"fmt"
+	"sort"
 
 	"irisnet/internal/xmldb"
 )
+
+// sortedKeys returns m's keys in ascending order; mutators iterate maps
+// through it so replayed transactions rebuild byte-identical trees.
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
 
 // Copy-on-write versioning for sealed stores.
 //
@@ -241,7 +253,10 @@ func (w *COW) ApplyUpdate(p xmldb.IDPath, fields, attrs map[string]string, ts fl
 	if recount {
 		w.out.addCachedBytes(-LocalInfoBytes(n))
 	}
-	for name, val := range fields {
+	// Iterate both maps in sorted order so an update replayed from the WAL
+	// produces a byte-identical node to the live application (map order
+	// would otherwise vary the order fresh children and attrs are added).
+	for _, name := range sortedKeys(fields) {
 		c := n.ChildNamed(name)
 		if c == nil {
 			c = n.AddChild(w.adopt(xmldb.NewNode(name)))
@@ -249,13 +264,13 @@ func (w *COW) ApplyUpdate(p xmldb.IDPath, fields, attrs map[string]string, ts fl
 		} else {
 			c = w.freshChild(n, c)
 		}
-		c.Text = val
+		c.Text = fields[name]
 	}
-	for name, val := range attrs {
+	for _, name := range sortedKeys(attrs) {
 		if name == xmldb.AttrID || name == xmldb.AttrStatus {
 			continue // structural attributes are not sensor data
 		}
-		n.SetAttr(name, val)
+		n.SetAttr(name, attrs[name])
 	}
 	SetTimestamp(n, ts)
 	if recount {

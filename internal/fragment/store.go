@@ -57,6 +57,13 @@ func NewStore(rootName, rootID string) *Store {
 	return s
 }
 
+// RestoreStore wraps an already-built document tree (typically parsed back
+// from a durability checkpoint) as a store. Node and byte counts are left
+// unknown and recomputed lazily on first use.
+func RestoreStore(root *xmldb.Node) *Store {
+	return &Store{Root: root}
+}
+
 // Seal marks the store immutable and returns it. Sealed stores are safe
 // for concurrent readers; every further mutation must go through a
 // copy-on-write transaction (Store.Begin) that produces a new version.

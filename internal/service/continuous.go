@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -17,6 +18,12 @@ import (
 // caching, repeated evaluations are served close to the watcher while
 // freshness tolerances in the query bound staleness.
 
+// DefaultWatchFailureBudget is how many consecutive evaluation failures a
+// watch tolerates before terminating, when Frontend.WatchFailureBudget is
+// zero. Wide-area evaluations fail transiently (a site restarting, a lost
+// packet); a single such failure must not kill a standing query.
+const DefaultWatchFailureBudget = 5
+
 // Change describes one transition of a watched query's answer.
 type Change struct {
 	// Seq increments per delivered change, starting at 1 (the initial
@@ -28,6 +35,13 @@ type Change struct {
 	Removed []string
 	// Answer is the full current result set.
 	Answer []*xmldb.Node
+	// Partial marks an answer some subtrees of which could not be reached
+	// or that was truncated; the watch keeps running and delivers it with
+	// the provenance attached rather than tearing down.
+	Partial bool
+	// Unreachable lists the subtree paths that did not converge, when
+	// Partial is set for that reason.
+	Unreachable []string
 }
 
 // Watch is a standing query handle.
@@ -58,8 +72,13 @@ func (w *Watch) Err() error {
 
 // WatchQuery registers a continuous query: the query is evaluated every
 // interval and a Change is delivered whenever the answer set differs from
-// the previous evaluation. Slow consumers do not block the poller; unread
-// intermediate changes are coalesced into the next delivery.
+// the last answer the consumer received. Slow consumers do not block the
+// poller; an unread change is reclaimed and its delta folded into the next
+// delivery, so the consumer always sees the full difference against its own
+// last observation — deltas are coalesced, never lost. Transient evaluation
+// failures are retried up to Frontend.WatchFailureBudget consecutive times
+// before the watch terminates; partial answers are delivered with their
+// unreachable-subtree provenance instead of tearing the watch down.
 func (f *Frontend) WatchQuery(query string, interval time.Duration) (*Watch, error) {
 	if interval <= 0 {
 		return nil, fmt.Errorf("service: watch interval must be positive")
@@ -68,13 +87,22 @@ func (f *Frontend) WatchQuery(query string, interval time.Duration) (*Watch, err
 	if _, _, err := f.RouteOf(query); err != nil {
 		return nil, err
 	}
+	budget := f.WatchFailureBudget
+	if budget <= 0 {
+		budget = DefaultWatchFailureBudget
+	}
 	ch := make(chan Change, 1)
 	w := &Watch{C: ch, stop: make(chan struct{}), done: make(chan struct{})}
 	go func() {
 		defer close(w.done)
 		defer close(ch)
-		prev := map[string]bool{}
+		// baseline is the answer set the consumer has seen (delivered and
+		// read); pending is the set encoded in a sent-but-possibly-unread
+		// change, nil when nothing is in flight.
+		baseline := map[string]bool{}
+		var pending map[string]bool
 		seq := 0
+		failures := 0
 		tick := time.NewTicker(interval)
 		defer tick.Stop()
 		for first := true; ; first = false {
@@ -85,32 +113,43 @@ func (f *Frontend) WatchQuery(query string, interval time.Duration) (*Watch, err
 				case <-tick.C:
 				}
 			}
-			nodes, err := f.Query(query)
+			ans, err := f.QueryFull(context.Background(), query)
 			if err != nil {
-				w.err = err
-				return
-			}
-			cur := map[string]bool{}
-			for _, n := range nodes {
-				cur[n.Canonical()] = true
-			}
-			added, removed := diffSets(prev, cur)
-			if len(added) == 0 && len(removed) == 0 {
+				failures++
+				if failures >= budget {
+					w.err = fmt.Errorf("service: watch %q: %d consecutive failures: %w",
+						query, failures, err)
+					return
+				}
 				continue
 			}
-			prev = cur
-			seq++
-			change := Change{Seq: seq, Added: added, Removed: removed, Answer: nodes}
-			// Coalesce: replace an undelivered change instead of blocking.
-			select {
-			case ch <- change:
-			default:
+			failures = 0
+			cur := map[string]bool{}
+			for _, n := range ans.Nodes {
+				cur[n.Canonical()] = true
+			}
+			// Settle the in-flight change: if the consumer read it, its set
+			// becomes the baseline; if not, reclaim it so its delta folds
+			// into the diff below instead of being dropped.
+			if pending != nil {
 				select {
 				case <-ch:
 				default:
+					baseline = pending
 				}
-				ch <- change
+				pending = nil
 			}
+			added, removed := diffSets(baseline, cur)
+			if len(added) == 0 && len(removed) == 0 {
+				continue
+			}
+			seq++
+			change := Change{Seq: seq, Added: added, Removed: removed, Answer: ans.Nodes,
+				Partial: ans.Partial(), Unreachable: ans.Unreachable}
+			// Cannot block: this goroutine is the sole sender and the
+			// one-slot buffer was just drained or observed empty.
+			ch <- change
+			pending = cur
 		}
 	}()
 	return w, nil

@@ -196,14 +196,14 @@ func (c *cacheManager) candidates() []string {
 // version. Pinned units (in-flight coalesced fetches mid-merge) are
 // skipped; the published total can therefore exceed the budget only by
 // data a flight is actively installing, and by at most one unit when a
-// single unit alone is larger than the whole budget. Returns the number of
-// units evicted.
-func (s *Site) evictToBudgetLocked(w *fragment.COW) int {
+// single unit alone is larger than the whole budget. Returns the keys of
+// the evicted units (callers on durable sites log them with the commit).
+func (s *Site) evictToBudgetLocked(w *fragment.COW) []string {
 	budget := s.cfg.CacheBudgetBytes
 	if budget <= 0 || s.cache == nil {
-		return 0
+		return nil
 	}
-	evicted := 0
+	var evicted []string
 	for pass := 0; pass < 2; pass++ {
 		if int64(w.CachedBytes()) <= budget {
 			break
@@ -225,7 +225,7 @@ func (s *Site) evictToBudgetLocked(w *fragment.COW) int {
 			}
 			s.cache.forget(key)
 			s.Metrics.Evictions.Inc()
-			evicted++
+			evicted = append(evicted, key)
 		}
 		// Still over budget after draining the candidate list: the store
 		// holds cached units the policy never saw through a merge (e.g.
@@ -258,13 +258,15 @@ func (s *Site) relieveCachePressure() {
 	defer s.wmu.Unlock()
 	st := s.state.Load()
 	w := st.store.Begin()
-	if s.evictToBudgetLocked(w) > 0 {
+	if evicted := s.evictToBudgetLocked(w); len(evicted) > 0 {
+		s.walAppend(walOp{Op: opEvict, Paths: evicted})
 		s.publishLocked(&siteState{store: w.Commit(), owned: st.owned, migrated: st.migrated})
 	}
 }
 
 // pressureLoop runs relieveCachePressure until the site stops.
 func (s *Site) pressureLoop() {
+	defer s.loopWG.Done()
 	t := time.NewTicker(pressureInterval)
 	defer t.Stop()
 	for {

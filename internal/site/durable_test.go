@@ -1,0 +1,460 @@
+package site
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"irisnet/internal/fragment"
+	"irisnet/internal/naming"
+	"irisnet/internal/transport"
+	"irisnet/internal/workload"
+	"irisnet/internal/xmldb"
+)
+
+// durHarness is a minimal deployment for durability tests: one registry and
+// network, the workload document, and the partition base every restart
+// recovers against (exactly what the cluster harness retains).
+type durHarness struct {
+	net      *transport.SimNet
+	registry *naming.Registry
+	db       *workload.DB
+	stores   map[string]*fragment.Store
+	owned    map[string][]xmldb.IDPath
+	clock    func() float64
+}
+
+// newDurHarness builds the harness with every node assigned to one site.
+func newDurHarness(t *testing.T, owner string) *durHarness {
+	t.Helper()
+	db := workload.Build(workload.DBConfig{Cities: 1, Neighborhoods: 2, Blocks: 2, Spaces: 3, Seed: 7})
+	assign := fragment.NewAssignment(owner)
+	stores, owned, err := fragment.Partition(db.Doc, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &durHarness{
+		net:      transport.NewSimNet(transport.SimConfig{}),
+		registry: naming.NewRegistry(),
+		db:       db,
+		stores:   stores,
+		owned:    owned,
+		clock:    func() float64 { return 1000 },
+	}
+	h.registry.RegisterSubtree(db.Doc, workload.Service, assign.OwnerOf)
+	return h
+}
+
+// start builds, recovers and starts a site. The partition base is passed to
+// Recover every time, the way a restart does; whether the site actually used
+// it (cold start) or recovered from disk is returned.
+func (h *durHarness) start(t *testing.T, name, dataDir string, mut func(*Config)) (*Site, bool) {
+	t.Helper()
+	sc := Config{
+		Name:     name,
+		Service:  workload.Service,
+		Net:      h.net,
+		DNS:      naming.NewClient(h.registry, workload.Service, time.Hour, nil),
+		Registry: h.registry,
+		Schema:   h.db.Schema,
+		CPUSlots: 1,
+		Clock:    h.clock,
+		DataDir:  dataDir,
+	}
+	if mut != nil {
+		mut(&sc)
+	}
+	s := New(sc, workload.RootName, workload.RootID)
+	base := h.stores[name]
+	if base == nil {
+		base = fragment.NewStore(workload.RootName, workload.RootID)
+	}
+	recovered, err := s.Recover(base, h.owned[name])
+	if err != nil {
+		t.Fatalf("recover %s: %v", name, err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Stop)
+	return s, recovered
+}
+
+// storeBytes serializes a site's published store.
+func storeBytes(s *Site) string {
+	snap := s.StoreSnapshot()
+	return snap.Root.StringSized(snap.Size())
+}
+
+func sortedOwned(s *Site) []string {
+	keys := s.OwnedPaths()
+	sort.Strings(keys)
+	return keys
+}
+
+// update applies one sensor update through the wire path and fails the test
+// on any error.
+func (h *durHarness) update(t *testing.T, to string, p xmldb.IDPath, fields, attrs map[string]string) {
+	t.Helper()
+	msg := &Message{Kind: KindUpdate, Path: p.String(), Fields: fields, Attrs: attrs}
+	respB, err := h.net.Call(to, msg.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := DecodeMessage(respB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := resp.AsError(); e != nil {
+		t.Fatalf("update %s: %v", p, e)
+	}
+}
+
+// TestDurableRecoveryMatchesLive is the recovery property test: after N
+// random committed transactions — field/attr updates and every schema op —
+// a crash-recovered site is byte-identical to the live store it replaced,
+// with the same ownership table.
+func TestDurableRecoveryMatchesLive(t *testing.T) {
+	h := newDurHarness(t, "solo")
+	dir := filepath.Join(t.TempDir(), "solo")
+	s, recovered := h.start(t, "solo", dir, nil)
+	if recovered {
+		t.Fatal("first start should be cold")
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	blocks := h.db.BlockPath(0, 0, 0)
+	added := []string{}
+	for i := 0; i < 200; i++ {
+		switch k := rng.Intn(10); {
+		case k < 6: // plain sensor update
+			p := h.db.SpacePaths[rng.Intn(len(h.db.SpacePaths))]
+			fields := map[string]string{"available": fmt.Sprintf("v%d", i)}
+			var attrs map[string]string
+			if rng.Intn(3) == 0 {
+				attrs = map[string]string{"quality": fmt.Sprintf("q%d", i), "src": "sensor"}
+			}
+			h.update(t, "solo", p, fields, attrs)
+		case k < 7: // schema: set attributes on an owned node
+			err := s.SchemaChange(OpSetAttrs, blocks, map[string]string{
+				"zone": fmt.Sprintf("z%d", i), "rev": fmt.Sprintf("%d", i)})
+			if err != nil {
+				t.Fatal(err)
+			}
+		case k < 8: // schema: non-IDable child churn
+			if err := s.SchemaChange(OpAddChild, blocks, map[string]string{
+				"name": "note", "text": fmt.Sprintf("n%d", i)}); err != nil {
+				t.Fatal(err)
+			}
+		case k < 9: // schema: add an IDable child (new owned node)
+			id := fmt.Sprintf("extra-%d", i)
+			if err := s.SchemaChange(OpAddIDable, blocks, map[string]string{
+				"name": "parkingSpace", "id": id}); err != nil {
+				t.Fatal(err)
+			}
+			added = append(added, id)
+		default: // schema: delete one previously added IDable child
+			if len(added) == 0 {
+				continue
+			}
+			id := added[len(added)-1]
+			added = added[:len(added)-1]
+			if err := s.SchemaChange(OpDelIDable, blocks, map[string]string{
+				"name": "parkingSpace", "id": id}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	wantStore := storeBytes(s)
+	wantOwned := sortedOwned(s)
+	s.Crash()
+
+	s2, recovered := h.start(t, "solo", dir, nil)
+	if !recovered {
+		t.Fatal("restart should recover from disk")
+	}
+	if got := storeBytes(s2); got != wantStore {
+		t.Fatalf("recovered store differs from live store (%d vs %d bytes)", len(got), len(wantStore))
+	}
+	if got := sortedOwned(s2); strings.Join(got, "|") != strings.Join(wantOwned, "|") {
+		t.Fatalf("recovered owned set differs:\n got %v\nwant %v", got, wantOwned)
+	}
+	// Recovered ownership is re-registered with naming.
+	if owner, ok := h.registry.Lookup(naming.DNSName(h.db.SpacePaths[0], workload.Service)); !ok || owner != "solo" {
+		t.Fatalf("naming not re-registered: owner = %q, %v", owner, ok)
+	}
+	if s2.RecoverySeconds() <= 0 {
+		t.Fatal("recovery duration not recorded")
+	}
+
+	// Recover twice: a clean stop followed by another recovery must land on
+	// the same bytes again (recovery is deterministic and lossless).
+	s2.Stop()
+	s3, recovered := h.start(t, "solo", dir, nil)
+	if !recovered {
+		t.Fatal("second restart should recover from disk")
+	}
+	if got := storeBytes(s3); got != wantStore {
+		t.Fatal("second recovery not byte-identical")
+	}
+}
+
+// TestDurableAckedUpdateSurvivesCrash is the narrow acked-durability check:
+// an update acked before kill -9 is present after recovery even though no
+// checkpoint ever covered it.
+func TestDurableAckedUpdateSurvivesCrash(t *testing.T) {
+	h := newDurHarness(t, "solo")
+	dir := filepath.Join(t.TempDir(), "solo")
+	s, _ := h.start(t, "solo", dir, nil)
+	target := h.db.SpacePaths[1]
+	h.update(t, "solo", target, map[string]string{"available": "acked-before-crash"}, nil)
+	s.Crash()
+
+	s2, recovered := h.start(t, "solo", dir, nil)
+	if !recovered {
+		t.Fatal("restart should recover from disk")
+	}
+	n := s2.StoreSnapshot().NodeAt(target)
+	if n == nil {
+		t.Fatalf("node %s missing after recovery", target)
+	}
+	found := false
+	for _, c := range n.ChildrenNamed("available") {
+		if c.Text == "acked-before-crash" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("acked update lost across crash: %s", n.Canonical())
+	}
+}
+
+// TestDurableTornCheckpointFallsBack corrupts the newest checkpoint and
+// verifies recovery falls back to the older one plus a longer log replay,
+// still landing byte-identical.
+func TestDurableTornCheckpointFallsBack(t *testing.T) {
+	h := newDurHarness(t, "solo")
+	dir := filepath.Join(t.TempDir(), "solo")
+	s, _ := h.start(t, "solo", dir, nil)
+
+	h.update(t, "solo", h.db.SpacePaths[0], map[string]string{"available": "before-ckpt"}, nil)
+	if err := s.dur.checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	h.update(t, "solo", h.db.SpacePaths[1], map[string]string{"available": "after-ckpt"}, nil)
+
+	want := storeBytes(s)
+	s.Crash()
+
+	// Tear the newest checkpoint file in half, as a crash mid-write would
+	// if the atomic rename were not there.
+	lsns := listCheckpoints(dir)
+	if len(lsns) < 2 {
+		t.Fatalf("expected >= 2 checkpoints, got %v", lsns)
+	}
+	newest := filepath.Join(dir, ckptName(lsns[len(lsns)-1]))
+	b, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newest, b[:len(b)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, recovered := h.start(t, "solo", dir, nil)
+	if !recovered {
+		t.Fatal("restart should recover from disk")
+	}
+	if got := storeBytes(s2); got != want {
+		t.Fatal("fallback recovery not byte-identical")
+	}
+}
+
+// TestDurableReplicaWatermarkPersists crashes and recovers a durable read
+// replica: the replication watermark must not regress, and the owner's
+// stream must keep applying cleanly where it left off.
+func TestDurableReplicaWatermarkPersists(t *testing.T) {
+	d := deployCfg(t, false, transport.SimConfig{}, func(c *Config) {
+		c.ReplicaFlushInterval = 2 * time.Millisecond
+	})
+	dir := filepath.Join(t.TempDir(), "replica-1")
+	mkReplica := func() *Site {
+		sc := Config{
+			Name:                 "replica-1",
+			Service:              workload.Service,
+			Net:                  d.net,
+			DNS:                  naming.NewClient(d.registry, workload.Service, time.Hour, nil),
+			Registry:             d.registry,
+			Schema:               d.db.Schema,
+			CPUSlots:             1,
+			Clock:                d.clock,
+			DataDir:              dir,
+			ReplicaFlushInterval: 2 * time.Millisecond,
+		}
+		s := New(sc, workload.RootName, workload.RootID)
+		if _, err := s.Recover(fragment.NewStore(workload.RootName, workload.RootID), nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		d.sites["replica-1"] = s
+		return s
+	}
+	rep := mkReplica()
+
+	nbPath := d.db.NeighborhoodPath(0, 0)
+	ownerName := d.assign.OwnerOf(nbPath)
+	owner := d.sites[ownerName]
+	if err := owner.AddReadReplica(nbPath, "replica-1", 30); err != nil {
+		t.Fatal(err)
+	}
+	target := spaceUnder(t, d, nbPath)
+	sendUpdate(t, d, ownerName, target, "v1")
+	awaitValue(t, d, "replica-1", target, "v1")
+	w1, ok := rep.ReplicaWatermark(nbPath)
+	if !ok {
+		t.Fatal("no watermark before crash")
+	}
+
+	rep.Crash()
+	rep2 := mkReplica()
+	w2, ok := rep2.ReplicaWatermark(nbPath)
+	if !ok {
+		t.Fatal("subscription lost across crash")
+	}
+	if w2 < w1 {
+		t.Fatalf("watermark regressed across restart: %v -> %v", w1, w2)
+	}
+	// The replicated copy itself was recovered: the replica serves the last
+	// acked value locally, and the still-running owner stream resumes at
+	// the recovered sequence number.
+	awaitValue(t, d, "replica-1", target, "v1")
+	if asked := rep2.Metrics.Subqueries.Value(); asked != 0 {
+		t.Fatalf("recovered replica issued %d subqueries for replicated data", asked)
+	}
+	sendUpdate(t, d, ownerName, target, "v2")
+	awaitValue(t, d, "replica-1", target, "v2")
+}
+
+// TestDurableWarmCacheRecovered restarts a caching entry site and verifies
+// the cache comes back warm — repeat queries are answered locally — and is
+// trimmed to a shrunken budget on the way in.
+func TestDurableWarmCacheRecovered(t *testing.T) {
+	d := deployCfg(t, false, transport.SimConfig{}, nil)
+	dir := filepath.Join(t.TempDir(), "entry")
+	mkEntry := func(budget int64) *Site {
+		sc := Config{
+			Name:             "entry",
+			Service:          workload.Service,
+			Net:              d.net,
+			DNS:              naming.NewClient(d.registry, workload.Service, time.Hour, nil),
+			Registry:         d.registry,
+			Schema:           d.db.Schema,
+			Caching:          true,
+			CacheBudgetBytes: budget,
+			CPUSlots:         1,
+			Clock:            d.clock,
+			DataDir:          dir,
+		}
+		s := New(sc, workload.RootName, workload.RootID)
+		if _, err := s.Recover(fragment.NewStore(workload.RootName, workload.RootID), nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		d.sites["entry"] = s
+		return s
+	}
+	entry := mkEntry(1 << 20)
+
+	q := d.db.BlockQuery(0, 0, 0)
+	want := centralAnswer(t, d, q)
+	d.query(t, "entry", q)
+	d.query(t, "entry", d.db.BlockQuery(1, 1, 2))
+	if entry.CachedFragments() == 0 {
+		t.Fatal("entry cached nothing")
+	}
+	preBytes := entry.CacheBytes()
+	entry.Crash()
+
+	// Recover with a budget below the cached footprint: the rehydrated
+	// cache must come back trimmed, coldest units first.
+	smallBudget := int64(preBytes * 3 / 4)
+	entry2 := mkEntry(smallBudget)
+	if entry2.CachedFragments() == 0 {
+		t.Fatal("cache did not survive restart")
+	}
+	if got := int64(entry2.CacheBytes()); got > smallBudget {
+		t.Fatalf("recovered cache over budget: %d > %d", got, smallBudget)
+	}
+	// Warm restart: the recovered answer is correct.
+	got := extracted(t, d.query(t, "entry", q), q, d.clock)
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Fatalf("post-restart answer wrong:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestSiteStopReleasesGoroutines is the shutdown leak regression test: a
+// deployment exercising the pressure loop, the checkpoint loop and
+// per-stream replication flushes must return the process to its baseline
+// goroutine count after Stop.
+func TestSiteStopReleasesGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	d := deployCfg(t, true, transport.SimConfig{}, func(c *Config) {
+		c.ReplicaFlushInterval = 2 * time.Millisecond
+		c.CacheBudgetBytes = 1 << 20
+	})
+	rep := addReplicaSite(t, d, "replica-1", func(c *Config) {
+		c.ReplicaFlushInterval = 2 * time.Millisecond
+	})
+	_ = rep
+	h := newDurHarness(t, "durable-solo")
+	dir := filepath.Join(t.TempDir(), "durable-solo")
+	durable, _ := h.start(t, "durable-solo", dir, func(c *Config) {
+		c.Caching = true
+		c.CacheBudgetBytes = 1 << 20
+		c.CheckpointInterval = 5 * time.Millisecond
+	})
+
+	nbPath := d.db.NeighborhoodPath(0, 0)
+	ownerName := d.assign.OwnerOf(nbPath)
+	if err := d.sites[ownerName].AddReadReplica(nbPath, "replica-1", 30); err != nil {
+		t.Fatal(err)
+	}
+	target := spaceUnder(t, d, nbPath)
+	sendUpdate(t, d, ownerName, target, "leak-check")
+	awaitValue(t, d, "replica-1", target, "leak-check")
+	h.update(t, "durable-solo", h.db.SpacePaths[0], map[string]string{"available": "x"}, nil)
+	d.query(t, "city-"+workload.CityName(0), d.db.BlockQuery(0, 0, 0))
+
+	for _, s := range d.sites {
+		s.Stop()
+	}
+	durable.Stop()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	var buf strings.Builder
+	_ = pprof.Lookup("goroutine").WriteTo(&buf, 1)
+	t.Fatalf("goroutines leaked after Stop: %d -> %d\n%s",
+		before, runtime.NumGoroutine(), buf.String())
+}

@@ -100,7 +100,11 @@ func (s *Site) Delegate(path xmldb.IDPath, newOwner string) error {
 		// though there is nothing to downgrade (mirrors the pre-COW code).
 		_ = w.SetStatusAt(p, fragment.StatusComplete)
 	}
+	lsn := s.walAppend(walOp{Op: opDelegate, Paths: keys, Owner: newOwner})
 	s.publishLocked(&siteState{store: w.Commit(), owned: owned, migrated: migrated})
+	// Rare control-plane op: waiting under wmu is acceptable, and the
+	// registry repoint below must not outrun the durable forwarding table.
+	s.walWait(lsn)
 	if s.summaries != nil {
 		// Ownership changed hands: cached aggregate summaries may now cover
 		// subtrees this site should route elsewhere, so drop them all.
@@ -161,6 +165,7 @@ func (s *Site) handleTake(msg *Message) *Message {
 		paths = append(paths, p)
 	}
 	var takeErr error
+	var lsn uint64
 	s.cpu.Do(func() {
 		s.wmu.Lock()
 		defer s.wmu.Unlock()
@@ -179,11 +184,15 @@ func (s *Site) handleTake(msg *Message) *Message {
 			owned[p.Key()] = true
 			delete(migrated, p.Key())
 		}
+		lsn = s.walAppend(walOp{Op: opTake, Frag: msg.Fragment, Paths: msg.Paths})
 		s.publishLocked(&siteState{store: w.Commit(), owned: owned, migrated: migrated})
 	})
 	if takeErr != nil {
 		return errorMessage(takeErr)
 	}
+	// The old owner downgrades its copy on this ack; the accepted
+	// ownership must be durable before that happens.
+	s.walWait(lsn)
 	if s.summaries != nil {
 		s.summaries.flush()
 	}

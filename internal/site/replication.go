@@ -96,6 +96,11 @@ type replicator struct {
 	started bool
 	stopped bool
 	stop    chan struct{}
+	// ctx cancels in-flight sends on close; wg tracks the flusher and every
+	// send goroutine so Site.Stop can wait for a leak-free shutdown.
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
 }
 
 // replicaSub is the replica-side state of one subscription: which subtree
@@ -110,7 +115,8 @@ type replicaSub struct {
 }
 
 func newReplicator(s *Site) *replicator {
-	return &replicator{s: s, stop: make(chan struct{})}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &replicator{s: s, stop: make(chan struct{}), ctx: ctx, cancel: cancel}
 }
 
 // observeLocked records a committed path on every stream whose root covers
@@ -170,10 +176,15 @@ func (r *replicator) start() {
 		return
 	}
 	r.started = true
-	go r.run()
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		r.run()
+	}()
 }
 
-// close stops the flusher; further batches never ship.
+// close stops the flusher and cancels in-flight sends; further batches
+// never ship.
 func (r *replicator) close() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -182,7 +193,11 @@ func (r *replicator) close() {
 	}
 	r.stopped = true
 	close(r.stop)
+	r.cancel()
 }
+
+// wait blocks until the flusher and every send goroutine have exited.
+func (r *replicator) wait() { r.wg.Wait() }
 
 func (r *replicator) run() {
 	interval := r.s.cfg.ReplicaFlushInterval
@@ -242,7 +257,9 @@ func (r *replicator) flush() {
 	}
 	s.wmu.Unlock()
 	for _, b := range out {
+		r.wg.Add(1)
 		go func(b batch) {
+			defer r.wg.Done()
 			err := r.send(b.st, snap, clock, b.paths)
 			s.wmu.Lock()
 			b.st.inflight = false
@@ -280,7 +297,7 @@ func (r *replicator) send(st *replStream, snap *fragment.Store, clock float64, p
 	st.seq++
 	msg := &Message{Kind: KindReplicate, Path: st.root.String(), Fragment: wire,
 		Seq: st.seq, ClockSec: clock}
-	respB, err := s.call.Call(context.Background(), st.dest, msg.Encode())
+	respB, err := s.call.Call(r.ctx, st.dest, msg.Encode())
 	if err != nil {
 		return err
 	}
@@ -409,6 +426,7 @@ func (s *Site) handleSync(msg *Message) *Message {
 		paths = append(paths, p)
 	}
 	var mergeErr error
+	var lsn uint64
 	s.cpu.Do(func() {
 		s.wmu.Lock()
 		defer s.wmu.Unlock()
@@ -417,15 +435,22 @@ func (s *Site) handleSync(msg *Message) *Message {
 		if mergeErr = w.MergeFragment(frag); mergeErr != nil {
 			return
 		}
+		// The subscription installs inside the same wmu hold as the seed's
+		// WAL record, so a checkpoint rotating after the record captures the
+		// sub too (checkpoint consistency invariant, durable.go).
+		s.subMu.Lock()
+		s.subs[root.Key()] = &replicaSub{root: root, owner: msg.NewOwner,
+			ownedPaths: paths, ownerClock: msg.ClockSec}
+		s.subMu.Unlock()
+		lsn = s.walAppend(walOp{Op: opSync, Path: root.String(), Frag: msg.Fragment,
+			Owner: msg.NewOwner, Paths: msg.Paths, Clock: msg.ClockSec})
 		s.publishLocked(&siteState{store: w.Commit(), owned: st.owned, migrated: st.migrated})
 	})
 	if mergeErr != nil {
 		return errorMessage(fmt.Errorf("site %s: merging replica seed: %w", s.cfg.Name, mergeErr))
 	}
-	s.subMu.Lock()
-	s.subs[root.Key()] = &replicaSub{root: root, owner: msg.NewOwner,
-		ownedPaths: paths, ownerClock: msg.ClockSec}
-	s.subMu.Unlock()
+	// The owner treats the seed as applied once acked; make it durable first.
+	s.walWait(lsn)
 	s.Metrics.ReplicaSyncs.Inc()
 	s.log.LogAttrs(context.Background(), slog.LevelInfo, "replica seeded",
 		slog.String("root", msg.Path), slog.String("owner", msg.NewOwner),
@@ -451,6 +476,7 @@ func (s *Site) handleReplicate(msg *Message) *Message {
 	if sub == nil {
 		return errorMessage(fmt.Errorf("site %s: not a replica of %s", s.cfg.Name, root))
 	}
+	var lsn uint64
 	if msg.Fragment != "" {
 		frag, perr := xmldb.ParseString(msg.Fragment)
 		if perr != nil {
@@ -477,6 +503,7 @@ func (s *Site) handleReplicate(msg *Message) *Message {
 			if mergeErr = w.MergeFragment(frag); mergeErr != nil {
 				return
 			}
+			lsn = s.walAppend(walOp{Op: opMerge, Frag: msg.Fragment})
 			s.publishLocked(&siteState{store: w.Commit(), owned: st.owned, migrated: st.migrated})
 		})
 		if promoted {
@@ -497,7 +524,19 @@ func (s *Site) handleReplicate(msg *Message) *Message {
 	if msg.ClockSec > sub.ownerClock {
 		sub.ownerClock = msg.ClockSec
 	}
+	// Persist the watermark advance while still holding subMu: the mark is
+	// appended after the advance it records, so any checkpoint whose
+	// boundary covers this record reads the advanced (or later — marks are
+	// monotone) watermark. A promoted or restarted owner therefore never
+	// regresses Seq below what it acknowledged.
+	mlsn := s.walAppend(walOp{Op: opMark, Path: root.String(), Seq: sub.seq, Clock: sub.ownerClock})
 	s.subMu.Unlock()
+	if mlsn > lsn {
+		lsn = mlsn
+	}
+	// The owner advances its stream state on this ack; make the batch and
+	// watermark durable first.
+	s.walWait(lsn)
 	s.Metrics.ReplicaBatchesApplied.Inc()
 	return &Message{Kind: KindOK}
 }
@@ -532,8 +571,16 @@ func (s *Site) Promote(root xmldb.IDPath) error {
 		owned[p.Key()] = true
 		delete(migrated, p.Key())
 	}
+	pathKeys := make([]string, len(sub.ownedPaths))
+	for i, p := range sub.ownedPaths {
+		pathKeys[i] = p.String()
+	}
+	lsn := s.walAppend(walOp{Op: opPromote, Path: root.String(), Paths: pathKeys})
 	s.publishLocked(&siteState{store: w.Commit(), owned: owned, migrated: migrated})
 	s.wmu.Unlock()
+	// The registry repoint below makes the promotion visible cluster-wide;
+	// the new ownership must survive a crash from that moment on.
+	s.walWait(lsn)
 	if s.summaries != nil {
 		s.summaries.flush()
 	}

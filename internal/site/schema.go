@@ -2,6 +2,7 @@ package site
 
 import (
 	"fmt"
+	"sort"
 
 	"irisnet/internal/fragment"
 	"irisnet/internal/naming"
@@ -41,6 +42,108 @@ const (
 	OpDelIDable SchemaOp = "del-idable"
 )
 
+// schemaApply is the operation core shared by the live write path and WAL
+// replay: it mutates the transaction and reports the ownership-table delta
+// — addKey is a new owned key (add-idable), delPrefix a deleted subtree
+// whose owned keys must go (del-idable). ownedCheck answers "does this
+// site own the node at key" against whichever ownership view the caller
+// holds (the published table live, the recovering table on replay);
+// iteration over args is sorted so replay rebuilds byte-identical trees.
+func schemaApply(w *fragment.COW, siteName string, op SchemaOp, p xmldb.IDPath, args map[string]string, ts float64, ownedCheck func(string) bool) (addKey, delPrefix string, err error) {
+	n, err := w.Touch(p)
+	if err != nil {
+		return "", "", fmt.Errorf("site %s: owned node %s missing", siteName, p)
+	}
+	switch op {
+	case OpSetAttrs:
+		for _, name := range sortedArgNames(args) {
+			if name == xmldb.AttrID || name == xmldb.AttrStatus {
+				return "", "", fmt.Errorf("site %s: attribute %q is reserved", siteName, name)
+			}
+			n.SetAttr(name, args[name])
+		}
+	case OpDelAttrs:
+		for _, name := range sortedArgNames(args) {
+			if name == xmldb.AttrID || name == xmldb.AttrStatus {
+				return "", "", fmt.Errorf("site %s: attribute %q is reserved", siteName, name)
+			}
+			n.DelAttr(name)
+		}
+	case OpAddChild:
+		name := args["name"]
+		if name == "" {
+			return "", "", fmt.Errorf("site %s: add-child needs a name", siteName)
+		}
+		c := w.AddChild(n, xmldb.NewNode(name))
+		c.Text = args["text"]
+	case OpDelChild:
+		name := args["name"]
+		removed := false
+		for _, c := range n.ChildrenNamed(name) {
+			if c.ID() != "" {
+				return "", "", fmt.Errorf("site %s: %q is IDable; use del-idable", siteName, name)
+			}
+			w.RemoveChild(n, c)
+			removed = true
+		}
+		if !removed {
+			return "", "", fmt.Errorf("site %s: no non-IDable child %q under %s", siteName, name, p)
+		}
+	case OpAddIDable:
+		name, id := args["name"], args["id"]
+		if name == "" || id == "" {
+			return "", "", fmt.Errorf("site %s: add-idable needs name and id", siteName)
+		}
+		if n.Child(name, id) != nil {
+			return "", "", fmt.Errorf("site %s: child <%s id=%q> already exists", siteName, name, id)
+		}
+		child := w.AddChild(n, xmldb.NewElem(name, id))
+		fragment.SetStatus(child, fragment.StatusOwned)
+		addKey = p.Child(name, id).Key()
+	case OpDelIDable:
+		name, id := args["name"], args["id"]
+		child := n.Child(name, id)
+		if child == nil {
+			return "", "", fmt.Errorf("site %s: no child <%s id=%q> under %s", siteName, name, id, p)
+		}
+		cp := p.Child(name, id)
+		// Every node in the deleted subtree must be owned here. The walk
+		// only reads; IDPathOf climbs parent pointers that, on shared
+		// nodes, lead through the previous version — the names and ids
+		// along a spine never change between versions, so the keys are
+		// still correct.
+		var unowned bool
+		child.Walk(func(x *xmldb.Node) bool {
+			if x.ID() != "" || x == child {
+				if xp, ok := xmldb.IDPathOf(x); ok && !ownedCheck(xp.Key()) {
+					unowned = true
+					return false
+				}
+			}
+			return true
+		})
+		if unowned {
+			return "", "", fmt.Errorf("site %s: subtree %s has nodes owned elsewhere; migrate first", siteName, cp)
+		}
+		w.RemoveChild(n, child)
+		delPrefix = cp.Key()
+	default:
+		return "", "", fmt.Errorf("site %s: unknown schema op %q", siteName, op)
+	}
+	fragment.SetTimestamp(n, ts)
+	return addKey, delPrefix, nil
+}
+
+// sortedArgNames returns the arg names ascending, for deterministic replay.
+func sortedArgNames(args map[string]string) []string {
+	names := make([]string, 0, len(args))
+	for name := range args {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // SchemaChange applies one schema operation to the owned node at path. Like
 // every other write it is a copy-on-write transaction: the operation builds
 // the next store version and publishes it together with any ownership-table
@@ -53,101 +156,38 @@ func (s *Site) SchemaChange(op SchemaOp, p xmldb.IDPath, args map[string]string)
 	if !st.owned[p.Key()] {
 		return fmt.Errorf("site %s: schema change on unowned node %s", s.cfg.Name, p)
 	}
+	ts := s.cfg.Clock()
 	w := st.store.Begin()
-	n, err := w.Touch(p)
+	addKey, delPrefix, err := schemaApply(w, s.cfg.Name, op, p, args, ts,
+		func(key string) bool { return st.owned[key] })
 	if err != nil {
-		return fmt.Errorf("site %s: owned node %s missing", s.cfg.Name, p)
+		return err
 	}
 	owned := st.owned // replaced with a copy by the ops that change it
 	var registry func()
-	switch op {
-	case OpSetAttrs:
-		for name, val := range args {
-			if name == xmldb.AttrID || name == xmldb.AttrStatus {
-				return fmt.Errorf("site %s: attribute %q is reserved", s.cfg.Name, name)
-			}
-			n.SetAttr(name, val)
-		}
-	case OpDelAttrs:
-		for name := range args {
-			if name == xmldb.AttrID || name == xmldb.AttrStatus {
-				return fmt.Errorf("site %s: attribute %q is reserved", s.cfg.Name, name)
-			}
-			n.DelAttr(name)
-		}
-	case OpAddChild:
-		name := args["name"]
-		if name == "" {
-			return fmt.Errorf("site %s: add-child needs a name", s.cfg.Name)
-		}
-		c := w.AddChild(n, xmldb.NewNode(name))
-		c.Text = args["text"]
-	case OpDelChild:
-		name := args["name"]
-		removed := false
-		for _, c := range n.ChildrenNamed(name) {
-			if c.ID() != "" {
-				return fmt.Errorf("site %s: %q is IDable; use del-idable", s.cfg.Name, name)
-			}
-			w.RemoveChild(n, c)
-			removed = true
-		}
-		if !removed {
-			return fmt.Errorf("site %s: no non-IDable child %q under %s", s.cfg.Name, name, p)
-		}
-	case OpAddIDable:
-		name, id := args["name"], args["id"]
-		if name == "" || id == "" {
-			return fmt.Errorf("site %s: add-idable needs name and id", s.cfg.Name)
-		}
-		if n.Child(name, id) != nil {
-			return fmt.Errorf("site %s: child <%s id=%q> already exists", s.cfg.Name, name, id)
-		}
-		child := w.AddChild(n, xmldb.NewElem(name, id))
-		fragment.SetStatus(child, fragment.StatusOwned)
-		cp := p.Child(name, id)
+	if addKey != "" {
 		owned = copyOwned(st.owned)
-		owned[cp.Key()] = true
+		owned[addKey] = true
 		if s.cfg.Registry != nil {
-			registry = func() { s.cfg.Registry.Set(naming.DNSName(cp, s.cfg.Service), s.cfg.Name) }
-		}
-	case OpDelIDable:
-		name, id := args["name"], args["id"]
-		child := n.Child(name, id)
-		if child == nil {
-			return fmt.Errorf("site %s: no child <%s id=%q> under %s", s.cfg.Name, name, id, p)
-		}
-		cp := p.Child(name, id)
-		// Every node in the deleted subtree must be owned here. The walk
-		// only reads; IDPathOf climbs parent pointers that, on shared
-		// nodes, lead through the previous version — the names and ids
-		// along a spine never change between versions, so the keys are
-		// still correct.
-		var unowned bool
-		child.Walk(func(x *xmldb.Node) bool {
-			if x.ID() != "" || x == child {
-				if xp, ok := xmldb.IDPathOf(x); ok && !st.owned[xp.Key()] {
-					unowned = true
-					return false
-				}
+			cp, perr := xmldb.ParseIDPath(addKey)
+			if perr == nil {
+				registry = func() { s.cfg.Registry.Set(naming.DNSName(cp, s.cfg.Service), s.cfg.Name) }
 			}
-			return true
-		})
-		if unowned {
-			return fmt.Errorf("site %s: subtree %s has nodes owned elsewhere; migrate first", s.cfg.Name, cp)
 		}
-		w.RemoveChild(n, child)
+	}
+	if delPrefix != "" {
 		owned = copyOwned(st.owned)
 		for k := range owned {
-			if k == cp.Key() || len(k) > len(cp.Key()) && k[:len(cp.Key())+1] == cp.Key()+"/" {
+			if k == delPrefix || len(k) > len(delPrefix) && k[:len(delPrefix)+1] == delPrefix+"/" {
 				delete(owned, k)
 			}
 		}
-	default:
-		return fmt.Errorf("site %s: unknown schema op %q", s.cfg.Name, op)
 	}
-	fragment.SetTimestamp(n, s.cfg.Clock())
+	lsn := s.walAppend(walOp{Op: opSchema, SchemaOp: string(op), Path: p.String(), Fields: args, TS: ts})
 	s.publishLocked(&siteState{store: w.Commit(), owned: owned, migrated: st.migrated})
+	// Rare control-plane op: waiting under wmu is acceptable, and the DNS
+	// registration below must not outrun the durable schema change.
+	s.walWait(lsn)
 	if s.summaries != nil {
 		// A schema change can add or remove aggregate matches anywhere under
 		// the changed node; flushing is simpler than reasoning per-op.

@@ -121,6 +121,20 @@ type Config struct {
 	// StaleAnswerThreshold, when positive, logs a structured warning when
 	// an answer used a cached local-information unit at least this old.
 	StaleAnswerThreshold time.Duration
+	// DataDir, when set, makes the site durable: committed transactions
+	// append to a write-ahead log under this directory and periodic
+	// checkpoints serialize the sealed snapshot, so a restarted site
+	// recovers its owned data and rejoins with a warm cache (durable.go).
+	// Empty keeps the prior fully in-memory behavior.
+	DataDir string
+	// FsyncInterval relaxes WAL durability: zero fsyncs on every acked
+	// commit (group commit batches concurrent writers); positive values
+	// fsync on a timer instead, trading the tail of un-synced commits on a
+	// crash for update throughput. Only meaningful with DataDir.
+	FsyncInterval time.Duration
+	// CheckpointInterval is the checkpoint cadence; zero uses
+	// DefaultCheckpointInterval. Only meaningful with DataDir.
+	CheckpointInterval time.Duration
 }
 
 // DefaultBatchByteCap bounds one batch message's encoded payload (256 KiB):
@@ -179,6 +193,14 @@ type Metrics struct {
 	ReplicaSyncs metrics.Counter
 	// SummaryHits counts aggregate queries answered from the summary cache.
 	SummaryHits metrics.Counter
+	// WALAppends/WALBytes/WALFsyncs count write-ahead-log activity on
+	// durable sites; Checkpoints counts completed checkpoints.
+	WALAppends  metrics.Counter
+	WALBytes    metrics.Counter
+	WALFsyncs   metrics.Counter
+	Checkpoints metrics.Counter
+	// CheckpointSeconds is the per-checkpoint wall-time distribution.
+	CheckpointSeconds *metrics.SizeHistogram
 	// BatchSize is the per-batch-message entry-count distribution.
 	BatchSize *metrics.SizeHistogram
 	// AnswerStaleness is the per-answer maximum cached-unit age in
@@ -226,6 +248,13 @@ func (s *Site) Register(r *metrics.Registry) {
 	r.RegisterCounter("irisnet_replica_batches_sent_total", "Replication delta batches and heartbeats shipped to read replicas.", l, &m.ReplicaBatchesSent)
 	r.RegisterCounter("irisnet_replica_batches_applied_total", "Replication batches applied as a replica.", l, &m.ReplicaBatchesApplied)
 	r.RegisterCounter("irisnet_replica_syncs_total", "Replica seeds installed.", l, &m.ReplicaSyncs)
+	r.RegisterCounter("irisnet_wal_appends_total", "Write-ahead-log records appended.", l, &m.WALAppends)
+	r.RegisterCounter("irisnet_wal_bytes_total", "Write-ahead-log bytes appended (framed).", l, &m.WALBytes)
+	r.RegisterCounter("irisnet_wal_fsyncs_total", "Write-ahead-log fsyncs issued.", l, &m.WALFsyncs)
+	r.RegisterCounter("irisnet_checkpoints_total", "Durability checkpoints completed.", l, &m.Checkpoints)
+	r.RegisterSizeHistogram("irisnet_checkpoint_seconds", "Per-checkpoint wall time.", l, m.CheckpointSeconds)
+	r.GaugeFunc("irisnet_recovery_seconds", "Duration of the last restart recovery (0 = cold or in-memory).", l,
+		s.RecoverySeconds)
 	r.GaugeFunc("irisnet_replica_lag_seconds", "Maximum replication lag across this site's subscriptions.", l,
 		func() float64 {
 			lag, _ := s.ReplicaLag()
@@ -298,6 +327,13 @@ type Site struct {
 	stopPressure chan struct{}
 	stopOnce     sync.Once
 
+	// dur is the durability engine; nil unless cfg.DataDir is set
+	// (durable.go). Assigned before Start, never mutated after.
+	dur *durability
+	// loopWG tracks the site's own background loops (cache pressure,
+	// checkpointing) so Stop can wait for a leak-free shutdown.
+	loopWG sync.WaitGroup
+
 	// repl is the owner-side replication engine; subs the replica-side
 	// subscription table, guarded by subMu (replication.go).
 	repl  *replicator
@@ -354,6 +390,7 @@ func New(cfg Config, rootName, rootID string) *Site {
 	s.Metrics.AnswerStaleness = metrics.NewSizeHistogram(0)
 	s.Metrics.CacheAge = metrics.NewSizeHistogram(0)
 	s.Metrics.PredicateMargin = metrics.NewSizeHistogram(0)
+	s.Metrics.CheckpointSeconds = metrics.NewSizeHistogram(0)
 	s.call = &transport.Caller{
 		Net:        cfg.Net,
 		Policy:     cfg.Retry,
@@ -381,25 +418,48 @@ func (s *Site) Load(store *fragment.Store, owned []xmldb.IDPath) {
 // publishLocked swaps in the next version. Callers hold wmu.
 func (s *Site) publishLocked(st *siteState) { s.state.Store(st) }
 
-// Start registers the site on the network and, on budgeted caching sites,
-// starts the background cache-pressure loop.
+// Start registers the site on the network and starts its background loops
+// (cache pressure on budgeted caching sites, checkpointing on durable ones).
 func (s *Site) Start() error {
 	if err := s.cfg.Net.Register(s.cfg.Name, s.Handle); err != nil {
 		return err
 	}
 	if s.cache != nil {
+		s.loopWG.Add(1)
 		go s.pressureLoop()
+	}
+	if s.dur != nil {
+		s.loopWG.Add(1)
+		go s.dur.loop()
 	}
 	return nil
 }
 
-// Stop unregisters the site and stops the pressure and replication loops.
-func (s *Site) Stop() {
+// Stop unregisters the site and shuts it down cleanly: background loops
+// and in-flight replication sends are waited out (leak-free), and on
+// durable sites a final checkpoint is written before the WAL closes.
+func (s *Site) Stop() { s.shutdown(false) }
+
+// Crash is Stop without graceful durability: the WAL file descriptor is
+// abandoned mid-stream with no final fsync or checkpoint, simulating
+// kill -9 for recovery tests and the durability experiment. Everything in
+// the OS page cache at that instant survives; nothing else does.
+func (s *Site) Crash() { s.shutdown(true) }
+
+func (s *Site) shutdown(crash bool) {
 	s.stopOnce.Do(func() {
 		close(s.stopPressure)
 		s.repl.close()
+		if s.dur != nil {
+			close(s.dur.stop)
+		}
 	})
 	s.cfg.Net.Unregister(s.cfg.Name)
+	s.loopWG.Wait()
+	s.repl.wait()
+	if s.dur != nil {
+		s.dur.finish(crash)
+	}
 }
 
 // Name returns the site's transport name.
@@ -965,9 +1025,21 @@ func (s *Site) mergeCache(frag *xmldb.Node) error {
 	if err := w.MergeFragment(frag); err != nil {
 		return err
 	}
+	var evicted []string
+	clock := s.cfg.Clock()
 	if s.cache != nil {
-		s.cache.noteFetched(frag, s.cfg.Clock())
-		s.evictToBudgetLocked(w)
+		s.cache.noteFetched(frag, clock)
+		evicted = s.evictToBudgetLocked(w)
+	}
+	if s.dur != nil {
+		// Merge and forced evictions are one record: replaying half of the
+		// pair would leave a store no live execution could have published.
+		ops := []walOp{{Op: opMerge, Frag: frag.String(), Clock: clock, Cached: s.cache != nil}}
+		if len(evicted) > 0 {
+			ops = append(ops, walOp{Op: opEvict, Paths: evicted})
+		}
+		// Cache merges are not acked writes; no walWait.
+		s.walAppend(ops...)
 	}
 	s.publishLocked(&siteState{store: w.Commit(), owned: st.owned, migrated: st.migrated})
 	return nil
@@ -1065,12 +1137,13 @@ func (s *Site) handleUpdate(ctx context.Context, msg *Message) *Message {
 	}
 	var owned bool
 	var applyErr error
+	var lsn uint64
 	s.cpu.Do(func() {
 		s.wmu.Lock()
 		st := s.state.Load()
 		owned = st.owned[p.Key()]
 		if owned {
-			applyErr = s.applyUpdateLocked(st, p, msg.Fields, msg.Attrs)
+			lsn, applyErr = s.applyUpdateLocked(st, p, msg.Fields, msg.Attrs)
 		}
 		s.wmu.Unlock()
 		if owned {
@@ -1081,6 +1154,11 @@ func (s *Site) handleUpdate(ctx context.Context, msg *Message) *Message {
 		return errorMessage(applyErr)
 	}
 	if owned {
+		// Durability point: the ack leaves only after the commit's WAL
+		// record is on disk (group commit — concurrent updates share one
+		// fsync). The writer mutex is long released, so fsync latency never
+		// serializes other commits.
+		s.walWait(lsn)
 		s.Metrics.Updates.Inc()
 		return &Message{Kind: KindOK}
 	}
@@ -1112,16 +1190,19 @@ func (s *Site) updateCost() {
 }
 
 // applyUpdateLocked builds and publishes the next store version with the
-// update applied. Callers hold wmu; st is the version they loaded under it.
-func (s *Site) applyUpdateLocked(st *siteState, p xmldb.IDPath, fields, attrs map[string]string) error {
+// update applied, returning the commit's WAL LSN (0 when not durable).
+// Callers hold wmu; st is the version they loaded under it.
+func (s *Site) applyUpdateLocked(st *siteState, p xmldb.IDPath, fields, attrs map[string]string) (uint64, error) {
 	if s.cfg.CoarseLocking {
 		s.coarse.Lock()
 		defer s.coarse.Unlock()
 	}
+	ts := s.cfg.Clock()
 	w := st.store.Begin()
-	if err := w.ApplyUpdate(p, fields, attrs, s.cfg.Clock()); err != nil {
-		return fmt.Errorf("site %s: owned node %s missing from store", s.cfg.Name, p)
+	if err := w.ApplyUpdate(p, fields, attrs, ts); err != nil {
+		return 0, fmt.Errorf("site %s: owned node %s missing from store", s.cfg.Name, p)
 	}
+	lsn := s.walAppend(walOp{Op: opUpdate, Path: p.String(), Fields: fields, Attrs: attrs, TS: ts})
 	s.publishLocked(&siteState{store: w.Commit(), owned: st.owned, migrated: st.migrated})
 	// Queue the committed path on every replication stream covering it;
 	// the flusher re-reads the node's post-commit state at ship time.
@@ -1131,7 +1212,7 @@ func (s *Site) applyUpdateLocked(st *siteState, p xmldb.IDPath, fields, attrs ma
 		// moment the new version publishes; drop them in the commit path.
 		s.summaries.invalidate(p)
 	}
-	return nil
+	return lsn, nil
 }
 
 // forwardTarget reports whether the query's LCA falls inside a subtree

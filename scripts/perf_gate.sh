@@ -18,8 +18,21 @@ COUNT="${COUNT:-6}"
 BENCHTIME="${BENCHTIME:-100ms}"
 THRESHOLD="${THRESHOLD:-15}"
 OUT="${OUT:-bench_gate}"
-PATTERN='BenchmarkSnapshotQuery|BenchmarkSerialize|BenchmarkAggregateCompute|BenchmarkReplicaApplyDelta'
-PKGS=(./internal/site ./internal/xmldb ./internal/qeg ./internal/fragment)
+PATTERN='BenchmarkSnapshotQuery|BenchmarkSerialize|BenchmarkAggregateCompute|BenchmarkReplicaApplyDelta|BenchmarkWALAppend|BenchmarkWALReplay'
+ALL_PKGS=(./internal/site ./internal/xmldb ./internal/qeg ./internal/fragment ./internal/wal)
+
+# pkgs_for <tree>: the subset of ALL_PKGS that exists in that checkout, so
+# the gate keeps working while a benchmark's package is newer than the merge
+# base (e.g. internal/wal, introduced with the durable store).
+pkgs_for() {
+    local tree=$1 p out=()
+    for p in "${ALL_PKGS[@]}"; do
+        if [ -d "$tree/${p#./}" ]; then
+            out+=("$p")
+        fi
+    done
+    printf '%s\n' "${out[@]}"
+}
 
 mkdir -p "$OUT"
 
@@ -43,10 +56,13 @@ trap cleanup EXIT
 
 git worktree add --detach "$wt" "$base" >/dev/null 2>&1
 
+mapfile -t BASE_PKGS < <(pkgs_for "$wt")
+mapfile -t HEAD_PKGS < <(pkgs_for .)
+
 echo "perf-gate: benchmarking base ${base} (count=$COUNT benchtime=$BENCHTIME)"
-(cd "$wt" && go test -run '^$' -bench "$PATTERN" -count "$COUNT" -benchtime "$BENCHTIME" "${PKGS[@]}") >"$OUT/base.txt"
+(cd "$wt" && go test -run '^$' -bench "$PATTERN" -count "$COUNT" -benchtime "$BENCHTIME" "${BASE_PKGS[@]}") >"$OUT/base.txt"
 echo "perf-gate: benchmarking HEAD"
-go test -run '^$' -bench "$PATTERN" -count "$COUNT" -benchtime "$BENCHTIME" "${PKGS[@]}" >"$OUT/head.txt"
+go test -run '^$' -bench "$PATTERN" -count "$COUNT" -benchtime "$BENCHTIME" "${HEAD_PKGS[@]}" >"$OUT/head.txt"
 
 if command -v benchstat >/dev/null 2>&1; then
     benchstat "$OUT/base.txt" "$OUT/head.txt" | tee "$OUT/benchstat.txt"
